@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	// Bowtie: two triangles sharing vertex 2.
+	data := "0 1\n0 2\n1 2\n2 3\n2 4\n3 4\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTriangleQuery(t *testing.T) {
+	path := writeTempGraph(t)
+	var out bytes.Buffer
+	err := run([]string{"-graph", path, "-motif", "triangle", "-algo", "core-exact"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "n=5 m=6") {
+		t.Fatalf("missing graph line: %q", got)
+	}
+	if !strings.Contains(got, "|V|=5") || !strings.Contains(got, "ρ=0.4") {
+		t.Fatalf("unexpected answer: %q", got)
+	}
+}
+
+func TestRunPrintsVertices(t *testing.T) {
+	path := writeTempGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-graph", path, "-print"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\n2\n") {
+		t.Fatalf("vertex list missing: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing -graph accepted")
+	}
+	if err := run([]string{"-graph", "/nonexistent/file"}, &out); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	path := writeTempGraph(t)
+	if err := run([]string{"-graph", path, "-motif", "heptagon"}, &out); err == nil {
+		t.Fatal("bad motif accepted")
+	}
+	if err := run([]string{"-graph", path, "-algo", "bogus"}, &out); err == nil {
+		t.Fatal("bad algo accepted")
+	}
+}

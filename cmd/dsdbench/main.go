@@ -1,0 +1,84 @@
+// Command dsdbench regenerates the paper's evaluation tables and figures
+// on the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	dsdbench -list
+//	dsdbench -run fig8exact
+//	dsdbench -run all [-div 4] [-maxh 4] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsdbench: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
+	var (
+		runID   = fs.String("run", "", "experiment id, or \"all\"")
+		list    = fs.Bool("list", false, "list experiments")
+		div     = fs.Int("div", 1, "extra dataset downscale divisor")
+		maxh    = fs.Int("maxh", 6, "largest clique size to sweep")
+		quick   = fs.Bool("quick", false, "smoke-test sizes")
+		ibudget = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list || *runID == "" {
+		for _, e := range expt.All() {
+			fmt.Fprintf(out, "%-10s %s\n", e.ID, e.Title)
+		}
+		if *runID == "" {
+			return nil
+		}
+	}
+
+	cfg := expt.DefaultConfig(out)
+	if *quick {
+		cfg = expt.QuickConfig(out)
+	}
+	cfg.Div *= *div
+	if *maxh < cfg.MaxH {
+		cfg.MaxH = *maxh
+	}
+	if *ibudget > 0 {
+		cfg.InstanceBudget = *ibudget
+	}
+
+	var selected []expt.Experiment
+	if *runID == "all" {
+		selected = expt.All()
+	} else {
+		e, err := expt.Get(*runID)
+		if err != nil {
+			return err
+		}
+		selected = []expt.Experiment{e}
+	}
+	for _, e := range selected {
+		fmt.Fprintf(out, "=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "--- %s done in %s ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

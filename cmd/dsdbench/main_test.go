@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig8exact", "table5", "fig21"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %s: %q", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping harness run in -short mode")
+	}
+	var out bytes.Buffer
+	// Heavy downscale keeps this a sub-second smoke run.
+	if err := run([]string{"-run", "fig12", "-quick", "-div", "8", "-maxh", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CoreExact") || !strings.Contains(out.String(), "done in") {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRunFamilies(t *testing.T) {
+	for _, family := range []string{"er", "gnm", "rmat", "ssca", "chunglu", "collab"} {
+		var out bytes.Buffer
+		err := run([]string{"-family", family, "-n", "50", "-m", "100", "-maxclique", "5"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		g, err := graph.FromEdgeList(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("%s: output not a valid edge list: %v", family, err)
+		}
+		if g.M() == 0 {
+			t.Fatalf("%s: empty graph", family)
+		}
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "Yeast", "-div", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdgeList(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 {
+		t.Fatal("empty dataset output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "nope"}, &out); err == nil {
+		t.Fatal("bad family accepted")
+	}
+	if err := run([]string{"-dataset", "NoSuch"}, &out); err == nil {
+		t.Fatal("bad dataset accepted")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-family", "er", "-n", "40", "-p", "0.1", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "er", "-n", "40", "-p", "0.1", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}

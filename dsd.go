@@ -1,0 +1,250 @@
+// Package dsd is the public API of this repository: efficient exact and
+// approximation algorithms for densest subgraph discovery (DSD), a Go
+// reproduction of Fang, Yu, Cheng, Lakshmanan & Lin, "Efficient Algorithms
+// for Densest Subgraph Discovery", PVLDB 12(11), 2019.
+//
+// The library finds, in an undirected simple graph, the subgraph
+// maximizing Ψ-density µ(S,Ψ)/|S| where Ψ is an edge (EDS), an h-clique
+// (CDS), or an arbitrary connected pattern (PDS). Algorithms:
+//
+//   - Exact / PExact: flow-network binary search on the whole graph
+//     (the pre-existing state of the art, Algorithms 1 and 8).
+//   - CoreExact / CorePExact: the paper's contribution — the search is
+//     confined to (k,Ψ)-cores, with flow networks that shrink as the
+//     bound improves (Algorithm 4, Section 7.2).
+//   - PeelApp: greedy peeling, 1/|VΨ|-approximation (Algorithm 2).
+//   - IncApp / CoreApp: the (kmax,Ψ)-core as a 1/|VΨ|-approximation,
+//     computed bottom-up or top-down (Algorithms 5 and 6).
+//
+// Quick start:
+//
+//	g := dsd.FromEdges(4, [][2]int{{0,1},{0,2},{1,2},{2,3}})
+//	res, _ := dsd.CliqueDensest(g, 3, dsd.AlgoCoreExact)
+//	fmt.Println(res.Density.Float(), res.Vertices)
+package dsd
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/clique"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/motif"
+	"repro/internal/pattern"
+	"repro/internal/psicore"
+	"repro/internal/rational"
+)
+
+// Graph is an immutable undirected simple graph; see NewBuilder,
+// FromEdges, FromEdgeList and LoadEdgeList for construction.
+type Graph = graph.Graph
+
+// Subgraph is an induced subgraph with its original-id mapping.
+type Subgraph = graph.Subgraph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// Pattern is a connected pattern graph Ψ for pattern-density queries.
+type Pattern = pattern.Pattern
+
+// Result is a densest-subgraph answer (vertex set, µ, exact density).
+type Result = core.Result
+
+// Density is an exact rational density µ/n.
+type Density = rational.R
+
+// Stats describes the structural summary of a graph (Table 2 columns).
+type Stats = graph.Stats
+
+// NewBuilder returns a graph builder with room for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// FromEdgeList parses a whitespace edge list ("u v" per line, '#'/'%'
+// comments).
+func FromEdgeList(r io.Reader) (*Graph, error) { return graph.FromEdgeList(r) }
+
+// LoadEdgeList reads an edge-list file.
+func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// PatternByName resolves the paper's pattern names: "edge", "triangle",
+// "h-clique" (h=2..8), "x-star" (x=2..6), "c3-star", "diamond",
+// "x-triangle" (x=2..5), "basket".
+func PatternByName(name string) (*Pattern, error) { return pattern.ByName(name) }
+
+// Figure7Patterns returns the seven non-clique evaluation patterns in the
+// paper's ID order.
+func Figure7Patterns() []*Pattern { return pattern.Figure7() }
+
+// Named pattern constructors.
+var (
+	// NewPattern validates and builds a custom connected pattern.
+	NewPattern = pattern.New
+	// Clique returns the h-clique pattern.
+	Clique = pattern.KClique
+	// Star returns the x-star pattern.
+	Star = pattern.Star
+	// DiamondPattern returns the 4-cycle ("diamond") pattern.
+	DiamondPattern = pattern.Diamond
+)
+
+// Algo selects a densest-subgraph algorithm.
+type Algo string
+
+// The available algorithms. Exact algorithms return the true optimum;
+// approximation algorithms guarantee density ≥ ρopt/|VΨ|.
+const (
+	AlgoExact     Algo = "exact"      // Algorithm 1 / 8 (baseline exact)
+	AlgoCoreExact Algo = "core-exact" // Algorithm 4 / CorePExact (this paper)
+	AlgoPeel      Algo = "peel"       // Algorithm 2 (baseline approximation)
+	AlgoInc       Algo = "inc"        // Algorithm 5 (core, bottom-up)
+	AlgoCoreApp   Algo = "core-app"   // Algorithm 6 (core, top-down; this paper)
+	AlgoNucleus   Algo = "nucleus"    // nucleus-decomposition baseline
+)
+
+// EdgeDensest finds the edge-densest subgraph (EDS) of g.
+func EdgeDensest(g *Graph, algo Algo) (*Result, error) { return CliqueDensest(g, 2, algo) }
+
+// CliqueDensest finds the h-clique densest subgraph (CDS) of g (h ≥ 2).
+func CliqueDensest(g *Graph, h int, algo Algo) (*Result, error) {
+	if h < 2 || h > 8 {
+		return nil, fmt.Errorf("dsd: clique size h=%d out of supported range [2,8]", h)
+	}
+	o := motif.Clique{H: h}
+	switch algo {
+	case AlgoExact:
+		return core.Exact(g, h), nil
+	case AlgoCoreExact:
+		return core.CoreExact(g, h), nil
+	case AlgoPeel:
+		return core.PeelApp(g, o), nil
+	case AlgoInc:
+		return core.IncApp(g, o), nil
+	case AlgoCoreApp:
+		return core.CoreApp(g, o), nil
+	case AlgoNucleus:
+		return core.Nucleus(g, o), nil
+	}
+	return nil, fmt.Errorf("dsd: unknown algorithm %q", algo)
+}
+
+// PatternDensest finds the pattern densest subgraph (PDS) of g w.r.t. p.
+func PatternDensest(g *Graph, p *Pattern, algo Algo) (*Result, error) {
+	switch algo {
+	case AlgoExact:
+		return core.PExact(g, p), nil
+	case AlgoCoreExact:
+		return core.CorePExact(g, p), nil
+	case AlgoPeel:
+		return core.PeelAppPattern(g, p), nil
+	case AlgoInc:
+		return core.IncAppPattern(g, p), nil
+	case AlgoCoreApp:
+		return core.CoreAppPattern(g, p), nil
+	case AlgoNucleus:
+		return core.Nucleus(g, motif.For(p)), nil
+	}
+	return nil, fmt.Errorf("dsd: unknown algorithm %q", algo)
+}
+
+// CoreExactOptions exposes CoreExact's pruning switches for ablation.
+type CoreExactOptions = core.Options
+
+// CliqueDensestCoreExactOpts runs CoreExact with explicit pruning options
+// (Figure 10's P1/P2/P3 variants).
+func CliqueDensestCoreExactOpts(g *Graph, h int, opts CoreExactOptions) *Result {
+	return core.CoreExactOpts(g, h, opts)
+}
+
+// QueryDensest solves the Section-6.3 variant: the edge-densest subgraph
+// among those containing every query vertex, located in a query-anchored
+// core instead of the whole graph.
+func QueryDensest(g *Graph, query []int32) (*Result, error) {
+	return core.QueryDensest(g, query)
+}
+
+// BatchPeelDensest is the streaming-model approximation of Bahmani et al.
+// (the paper's reference [6]): batch-removal passes instead of one vertex
+// at a time, giving a 1/((1+ε)·|VΨ|)-approximation in O(log n / ε) passes.
+func BatchPeelDensest(g *Graph, p *Pattern, eps float64) (*Result, error) {
+	return core.BatchPeel(g, motif.For(p), eps)
+}
+
+// DensestAtLeast is the size-constrained greedy heuristic of Andersen &
+// Chellapilla (the paper's reference [3]): the densest residual subgraph
+// with at least k vertices. The exact size-constrained problem is NP-hard.
+func DensestAtLeast(g *Graph, p *Pattern, k int) (*Result, error) {
+	return core.PeelAppAtLeast(g, motif.For(p), k)
+}
+
+// VerifyResult checks a result's certificates against g: µ/ρ consistency
+// always, plus (when exact is true) the Lemma-4 participation condition
+// and single-vertex local maximality. It returns nil when all checks pass.
+func VerifyResult(g *Graph, p *Pattern, res *Result, exact bool) error {
+	return core.Certify(g, motif.For(p), res, exact)
+}
+
+// CoreNumbers computes classical k-core numbers (Batagelj–Zaversnik).
+func CoreNumbers(g *Graph) []int32 {
+	return kcore.Decompose(g).Core
+}
+
+// CliqueCoreNumbers computes (k,Ψ)-core numbers for Ψ = h-clique
+// (Algorithm 3) and returns them with kmax.
+func CliqueCoreNumbers(g *Graph, h int) ([]int64, int64) {
+	d := psicore.Decompose(g, motif.Clique{H: h})
+	return d.Core, d.KMax
+}
+
+// PatternCoreNumbers computes (k,Ψ)-core numbers for a general pattern.
+func PatternCoreNumbers(g *Graph, p *Pattern) ([]int64, int64) {
+	d := psicore.Decompose(g, motif.For(p))
+	return d.Core, d.KMax
+}
+
+// CliqueCore returns the (k,Ψ)-core of g for Ψ = h-clique as an induced
+// subgraph (possibly empty).
+func CliqueCore(g *Graph, h int, k int64) *Subgraph {
+	d := psicore.Decompose(g, motif.Clique{H: h})
+	return g.Induced(d.CoreVertices(k))
+}
+
+// CountCliques returns µ(g,Ψ) for Ψ = h-clique.
+func CountCliques(g *Graph, h int) int64 {
+	return motif.Count(motif.Clique{H: h}, g)
+}
+
+// CountCliquesParallel counts h-cliques with the given number of workers
+// (0 = GOMAXPROCS), exploiting the parallelizability the paper notes in
+// Section 6.3.
+func CountCliquesParallel(g *Graph, h, workers int) int64 {
+	return clique.NewLister(g).CountParallel(h, workers)
+}
+
+// CliqueDegreesParallel computes h-clique degrees with the given number of
+// workers (0 = GOMAXPROCS).
+func CliqueDegreesParallel(g *Graph, h, workers int) []int64 {
+	return clique.NewLister(g).DegreesParallel(h, workers)
+}
+
+// CountPatterns returns µ(g,Ψ) for a general pattern.
+func CountPatterns(g *Graph, p *Pattern) int64 {
+	return motif.Count(motif.For(p), g)
+}
+
+// CliqueDegrees returns deg(v,Ψ) for every vertex, Ψ = h-clique.
+func CliqueDegrees(g *Graph, h int) []int64 {
+	_, deg := motif.Clique{H: h}.CountAndDegrees(g)
+	return deg
+}
+
+// PatternDegrees returns deg(v,Ψ) for every vertex for a general pattern.
+func PatternDegrees(g *Graph, p *Pattern) []int64 {
+	_, deg := motif.For(p).CountAndDegrees(g)
+	return deg
+}

@@ -1,0 +1,60 @@
+package dsd_test
+
+import (
+	"fmt"
+
+	dsd "repro"
+)
+
+// The bowtie graph: two triangles sharing vertex 2. Its triangle-densest
+// subgraph is the whole bowtie (2 triangles over 5 vertices).
+func ExampleCliqueDensest() {
+	g := dsd.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}})
+	res, err := dsd.CliqueDensest(g, 3, dsd.AlgoCoreExact)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("density=%.2f vertices=%v\n", res.Density.Float(), res.Vertices)
+	// Output: density=0.40 vertices=[0 1 2 3 4]
+}
+
+func ExamplePatternDensest() {
+	g := dsd.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}})
+	p, err := dsd.PatternByName("2-star")
+	if err != nil {
+		panic(err)
+	}
+	res, err := dsd.PatternDensest(g, p, dsd.AlgoCoreExact)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("2-star density=%.2f\n", res.Density.Float())
+	// Output: 2-star density=2.00
+}
+
+func ExampleCliqueCoreNumbers() {
+	g := dsd.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}})
+	cores, kmax := dsd.CliqueCoreNumbers(g, 3)
+	fmt.Println(cores, kmax)
+	// Output: [1 1 1 1 1] 1
+}
+
+func ExampleQueryDensest() {
+	// Densest subgraph forced to contain vertex 4 (on the sparse side).
+	g := dsd.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}})
+	res, err := dsd.QueryDensest(g, []int32{4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("density=%.2f contains 4: %v\n", res.Density.Float(), contains(res.Vertices, 4))
+	// Output: density=1.00 contains 4: true
+}
+
+func contains(vs []int32, want int32) bool {
+	for _, v := range vs {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+// Biological motif analysis (the paper's Figure 21 case study): on a
+// yeast-style protein-interaction network, the densest subgraphs for
+// different patterns select different functional modules — a near-clique
+// complex for 4-cliques, a hub-centered module for stars, a cycle-rich
+// module for diamonds.
+//
+// Run with: go run ./examples/biology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dsd "repro"
+)
+
+func main() {
+	// A PPI stand-in with three planted functional modules.
+	g, modules := dsd.GeneratePPI(1116, 2148, 7)
+	names := []string{"near-clique complex", "hub module", "cycle-rich module"}
+	fmt.Printf("PPI network: %d proteins, %d interactions, %d planted modules\n\n", g.N(), g.M(), len(modules))
+
+	patterns := []struct {
+		name string
+		p    *dsd.Pattern
+	}{
+		{"edge", mustPattern("edge")},
+		{"c3-star", mustPattern("c3-star")},
+		{"2-triangle", mustPattern("2-triangle")},
+		{"4-clique", mustPattern("4-clique")},
+		{"2-star", mustPattern("2-star")},
+		{"diamond", mustPattern("diamond")},
+	}
+	for _, pc := range patterns {
+		res, err := dsd.PatternDensest(g, pc.p, dsd.AlgoCoreExact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Vertices) == 0 {
+			fmt.Printf("%-11s no instances in the network\n", pc.name)
+			continue
+		}
+		module, overlap := bestModule(res.Vertices, modules, names)
+		fmt.Printf("%-11s PDS |V|=%-4d ρ=%-9.3f → %s (overlap %.0f%%)\n",
+			pc.name, len(res.Vertices), res.Density.Float(), module, 100*overlap)
+	}
+
+	fmt.Println("\nDifferent patterns surface different functional subnetworks —")
+	fmt.Println("the basis for motif-aware module discovery (Wuchty et al. 2003).")
+}
+
+func mustPattern(name string) *dsd.Pattern {
+	p, err := dsd.PatternByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// bestModule reports which planted module a vertex set overlaps most.
+func bestModule(vs []int32, modules [][]int32, names []string) (string, float64) {
+	in := make(map[int32]bool, len(vs))
+	for _, v := range vs {
+		in[v] = true
+	}
+	best, bestOv := "background", 0.0
+	for i, mod := range modules {
+		cnt := 0
+		for _, v := range mod {
+			if in[v] {
+				cnt++
+			}
+		}
+		if ov := float64(cnt) / float64(len(vs)); ov > bestOv {
+			best, bestOv = names[i], ov
+		}
+	}
+	return best, bestOv
+}

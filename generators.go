@@ -1,0 +1,38 @@
+package dsd
+
+import (
+	"repro/internal/gen"
+)
+
+// Seeded synthetic graph generators, re-exported for examples and
+// downstream workloads. All are deterministic in their seed.
+
+// GenerateER samples an Erdős–Rényi G(n,p) graph.
+func GenerateER(n int, p float64, seed int64) *Graph { return gen.ER(n, p, seed) }
+
+// GenerateGNM samples a uniform graph with ~m edges.
+func GenerateGNM(n, m int, seed int64) *Graph { return gen.GNM(n, m, seed) }
+
+// GenerateRMAT samples an R-MAT power-law graph with the GTgraph default
+// partition (0.45, 0.15, 0.15, 0.25).
+func GenerateRMAT(n, m int, seed int64) *Graph { return gen.RMATDefault(n, m, seed) }
+
+// GenerateSSCA samples an SSCA#2-style union of random-sized cliques.
+func GenerateSSCA(n, maxClique int, seed int64) *Graph { return gen.SSCA(n, maxClique, seed) }
+
+// GenerateChungLu samples a power-law graph with exponent alpha and ~m
+// edges.
+func GenerateChungLu(n, m int, alpha float64, seed int64) *Graph {
+	return gen.ChungLu(n, m, alpha, seed)
+}
+
+// GenerateCollaboration samples a DBLP-style co-authorship network: papers
+// are author-cliques with Zipf-skewed author popularity.
+func GenerateCollaboration(authors, papers, maxAuthors int, seed int64) *Graph {
+	return gen.Collaboration(authors, papers, maxAuthors, seed)
+}
+
+// GeneratePPI samples a yeast-style protein-interaction network with
+// planted functional modules of different shapes; it returns the graph and
+// the planted module vertex sets (near-clique, hub, cycle-rich).
+func GeneratePPI(n, m int, seed int64) (*Graph, [][]int32) { return gen.PlantedPPI(n, m, seed) }

@@ -1,0 +1,152 @@
+// Package bucketq implements the bin-sort bucket queue of Batagelj &
+// Zaversnik that backs every peeling loop in this repository (classical
+// k-core, (k,Ψ)-core, PeelApp). It supports O(1) pop-min and O(1) amortized
+// clamped key decreases, with keys that are non-negative int64s (clique and
+// pattern degrees can be large and sparse, so buckets live in a map and a
+// lazy min-heap tracks the occupied keys).
+package bucketq
+
+import "container/heap"
+
+// Queue is a bucket priority queue over items 0..n-1 with int64 keys.
+type Queue struct {
+	key  []int64 // current key of each item; -1 when removed
+	head map[int64]int32
+	next []int32
+	prev []int32
+	keys keyHeap // lazy min-heap of (possibly stale) bucket keys
+	live int
+}
+
+const nilItem = int32(-1)
+
+type keyHeap []int64
+
+func (h keyHeap) Len() int            { return len(h) }
+func (h keyHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New builds a queue holding every item v with initial key keys[v].
+func New(keys []int64) *Queue {
+	q := &Queue{
+		key:  append([]int64(nil), keys...),
+		head: make(map[int64]int32),
+		next: make([]int32, len(keys)),
+		prev: make([]int32, len(keys)),
+		live: len(keys),
+	}
+	for i := range q.next {
+		q.next[i], q.prev[i] = nilItem, nilItem
+	}
+	for v := range keys {
+		q.push(int32(v), keys[v])
+	}
+	heap.Init(&q.keys)
+	return q
+}
+
+func (q *Queue) push(v int32, k int64) {
+	h, ok := q.head[k]
+	if !ok {
+		h = nilItem
+		q.keys = append(q.keys, k) // heap property restored by Init or Push callers
+	}
+	q.next[v] = h
+	q.prev[v] = nilItem
+	if h != nilItem {
+		q.prev[h] = v
+	}
+	q.head[k] = v
+}
+
+func (q *Queue) pushHeapified(v int32, k int64) {
+	if _, ok := q.head[k]; !ok {
+		heap.Push(&q.keys, k)
+	}
+	h, ok := q.head[k]
+	if !ok {
+		h = nilItem
+	}
+	q.next[v] = h
+	q.prev[v] = nilItem
+	if h != nilItem {
+		q.prev[h] = v
+	}
+	q.head[k] = v
+}
+
+func (q *Queue) unlink(v int32, k int64) {
+	if q.prev[v] != nilItem {
+		q.next[q.prev[v]] = q.next[v]
+	} else if q.next[v] != nilItem {
+		q.head[k] = q.next[v]
+	} else {
+		delete(q.head, k) // the stale key stays in the heap; PopMin skips it
+	}
+	if q.next[v] != nilItem {
+		q.prev[q.next[v]] = q.prev[v]
+	}
+	q.next[v], q.prev[v] = nilItem, nilItem
+}
+
+// Len returns the number of live items.
+func (q *Queue) Len() int { return q.live }
+
+// Key returns the current key of item v, or -1 if v has been popped or
+// removed.
+func (q *Queue) Key(v int) int64 { return q.key[v] }
+
+// PopMin removes and returns a live item with the minimum key. ok is false
+// when the queue is empty.
+func (q *Queue) PopMin() (v int, key int64, ok bool) {
+	if q.live == 0 {
+		return 0, 0, false
+	}
+	for {
+		k := q.keys[0]
+		h, exists := q.head[k]
+		if !exists {
+			heap.Pop(&q.keys) // stale entry
+			continue
+		}
+		q.unlink(h, k)
+		q.key[h] = -1
+		q.live--
+		return int(h), k, true
+	}
+}
+
+// DecreaseTo lowers the key of item v to max(newKey, floor). It is a no-op
+// when v is no longer live or when the clamped key would not decrease.
+func (q *Queue) DecreaseTo(v int, newKey, floor int64) {
+	if q.key[v] < 0 {
+		return
+	}
+	if newKey < floor {
+		newKey = floor
+	}
+	if newKey >= q.key[v] {
+		return
+	}
+	q.unlink(int32(v), q.key[v])
+	q.key[v] = newKey
+	q.pushHeapified(int32(v), newKey)
+}
+
+// Remove deletes item v from the queue without popping it.
+func (q *Queue) Remove(v int) {
+	if q.key[v] < 0 {
+		return
+	}
+	q.unlink(int32(v), q.key[v])
+	q.key[v] = -1
+	q.live--
+}

@@ -1,0 +1,156 @@
+package bucketq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopMinOrder(t *testing.T) {
+	q := New([]int64{5, 1, 3, 1, 9})
+	var keys []int64
+	for {
+		_, k, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		keys = append(keys, k)
+	}
+	want := []int64{1, 1, 3, 5, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("pop sequence %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestDecreaseToMovesItem(t *testing.T) {
+	q := New([]int64{5, 7})
+	q.DecreaseTo(1, 2, 0)
+	v, k, _ := q.PopMin()
+	if v != 1 || k != 2 {
+		t.Fatalf("got (%d,%d), want (1,2)", v, k)
+	}
+}
+
+func TestDecreaseToClampsAtFloor(t *testing.T) {
+	q := New([]int64{5})
+	q.DecreaseTo(0, 1, 3)
+	if got := q.Key(0); got != 3 {
+		t.Fatalf("key = %d, want clamped 3", got)
+	}
+}
+
+func TestDecreaseToIgnoresIncreases(t *testing.T) {
+	q := New([]int64{2})
+	q.DecreaseTo(0, 10, 0)
+	if got := q.Key(0); got != 2 {
+		t.Fatalf("key = %d, want 2", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New([]int64{1, 2, 3})
+	q.Remove(0)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	v, _, _ := q.PopMin()
+	if v != 1 {
+		t.Fatalf("popped %d, want 1", v)
+	}
+	q.Remove(0) // double remove is a no-op
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestPoppedItemKeyIsMinusOne(t *testing.T) {
+	q := New([]int64{4})
+	q.PopMin()
+	if q.Key(0) != -1 {
+		t.Fatalf("Key after pop = %d, want -1", q.Key(0))
+	}
+	q.DecreaseTo(0, 1, 0) // must not resurrect
+	if q.Len() != 0 {
+		t.Fatal("DecreaseTo resurrected a popped item")
+	}
+}
+
+func TestSparseLargeKeys(t *testing.T) {
+	q := New([]int64{1 << 40, 3, 1 << 50})
+	v, k, _ := q.PopMin()
+	if v != 1 || k != 3 {
+		t.Fatalf("got (%d,%d), want (1,3)", v, k)
+	}
+	v, k, _ = q.PopMin()
+	if v != 0 || k != 1<<40 {
+		t.Fatalf("got (%d,%d), want (0,%d)", v, k, int64(1)<<40)
+	}
+}
+
+// Property: against a naive implementation, a random interleaving of
+// clamped decreases and pops produces identical pop keys, as long as the
+// clamping contract (floor = last popped key) is respected.
+func TestAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(20))
+		}
+		q := New(keys)
+		naive := append([]int64(nil), keys...)
+		cur := int64(0)
+		for popped := 0; popped < n; {
+			if rng.Intn(2) == 0 {
+				// Pop from both.
+				v, k, ok := q.PopMin()
+				if !ok {
+					return false
+				}
+				if k > cur {
+					cur = k
+				}
+				// Naive pop: min key, any item with that key acceptable —
+				// compare keys only.
+				minK, minV := int64(1<<62), -1
+				for i, kk := range naive {
+					if kk >= 0 && kk < minK {
+						minK, minV = kk, i
+					}
+				}
+				if minK != k {
+					t.Logf("pop key mismatch: got %d want %d", k, minK)
+					return false
+				}
+				naive[minV] = -2 // removed (mark distinct from popped item v)
+				if naive[v] >= 0 {
+					// The bucket queue popped a different same-key item;
+					// align naive with it.
+					naive[minV] = naive[v]
+					naive[v] = -2
+				}
+				popped++
+			} else {
+				v := rng.Intn(n)
+				delta := int64(rng.Intn(4))
+				if naive[v] >= 0 {
+					nk := naive[v] - delta
+					if nk < cur {
+						nk = cur
+					}
+					if nk < naive[v] {
+						naive[v] = nk
+					}
+				}
+				q.DecreaseTo(v, q.Key(v)-delta, cur)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

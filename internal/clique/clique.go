@@ -1,0 +1,193 @@
+// Package clique enumerates h-cliques. The listing algorithm follows the
+// kClist approach of Danisch, Balalau & Sozio (WWW'18), the enumerator the
+// paper uses: vertices are ranked by a degeneracy (core) ordering, the
+// graph is oriented into a DAG along that ranking, and cliques are listed
+// by recursively intersecting out-neighborhoods, so every h-clique is
+// visited exactly once with candidate sets bounded by the degeneracy.
+package clique
+
+import (
+	"repro/internal/graph"
+	"repro/internal/kcore"
+)
+
+// MaxH is the largest clique size supported by the fixed-size keys used to
+// index (h−1)-cliques in flow networks. The paper evaluates h ∈ [2,6].
+const MaxH = 8
+
+// Lister enumerates h-cliques of a fixed graph. Building a Lister computes
+// the degeneracy orientation once; the enumeration methods can then be
+// invoked for any h.
+type Lister struct {
+	g    *graph.Graph
+	out  [][]int32 // DAG out-neighbors (higher degeneracy rank), sorted by id
+	rank []int32
+}
+
+// NewLister prepares a clique lister for g.
+func NewLister(g *graph.Graph) *Lister {
+	d := kcore.Decompose(g)
+	_, rank := d.DegeneracyOrder()
+	out := make([][]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if rank[w] > rank[v] {
+				out[v] = append(out[v], w) // neighbor lists are id-sorted, so out stays id-sorted
+			}
+		}
+	}
+	return &Lister{g: g, out: out, rank: rank}
+}
+
+// ForEach calls fn once per h-clique. The slice passed to fn is reused
+// between calls and must be copied if retained. Vertices within a clique
+// are in degeneracy-rank order, not id order.
+func (l *Lister) ForEach(h int, fn func(clique []int32)) {
+	l.ForEachStop(h, func(c []int32) bool {
+		fn(c)
+		return true
+	})
+}
+
+// ForEachStop is ForEach with early termination: fn returns false to
+// abort. The return value reports whether the enumeration completed.
+func (l *Lister) ForEachStop(h int, fn func(clique []int32) bool) bool {
+	if h < 1 {
+		return true
+	}
+	n := l.g.N()
+	clique := make([]int32, h)
+	if h == 1 {
+		for v := 0; v < n; v++ {
+			clique[0] = int32(v)
+			if !fn(clique) {
+				return false
+			}
+		}
+		return true
+	}
+	bufs := make([][]int32, h)
+	for i := range bufs {
+		bufs[i] = make([]int32, 0, l.g.MaxDegree())
+	}
+	var rec func(depth int, cand []int32) bool
+	rec = func(depth int, cand []int32) bool {
+		if h-depth > len(cand) {
+			return true
+		}
+		if depth == h-1 {
+			for _, u := range cand {
+				clique[depth] = u
+				if !fn(clique) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, u := range cand {
+			clique[depth] = u
+			next := graph.IntersectSorted(cand, l.out[u], bufs[depth+1])
+			ok := rec(depth+1, next)
+			bufs[depth+1] = next[:0]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for v := 0; v < n; v++ {
+		clique[0] = int32(v)
+		if !rec(1, l.out[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of h-cliques in the graph.
+func (l *Lister) Count(h int) int64 {
+	var c int64
+	l.ForEach(h, func([]int32) { c++ })
+	return c
+}
+
+// Degrees returns the clique-degree deg(v,Ψ) of every vertex: the number of
+// h-cliques containing v (Definition 3).
+func (l *Lister) Degrees(h int) []int64 {
+	deg := make([]int64, l.g.N())
+	l.ForEach(h, func(c []int32) {
+		for _, v := range c {
+			deg[v]++
+		}
+	})
+	return deg
+}
+
+// Count returns the number of h-cliques of g.
+func Count(g *graph.Graph, h int) int64 { return NewLister(g).Count(h) }
+
+// Degrees returns per-vertex h-clique degrees of g.
+func Degrees(g *graph.Graph, h int) []int64 { return NewLister(g).Degrees(h) }
+
+// ForEachContaining enumerates the h-cliques of g that contain vertex v and
+// whose members are all alive (alive == nil means every vertex is alive).
+// fn receives the h−1 members other than v; the slice is reused between
+// calls. Cliques are enumerated in increasing id order of their members.
+//
+// This is the primitive behind the peeling step of (k,Ψ)-core
+// decomposition: when v is removed, exactly these cliques disappear.
+func ForEachContaining(g *graph.Graph, v int, h int, alive []bool, fn func(others []int32)) {
+	if h < 2 {
+		return
+	}
+	cand := make([]int32, 0, g.Degree(v))
+	for _, w := range g.Neighbors(v) {
+		if alive == nil || alive[w] {
+			cand = append(cand, w)
+		}
+	}
+	others := make([]int32, h-1)
+	bufs := make([][]int32, h)
+	var rec func(depth int, cand []int32)
+	rec = func(depth int, cand []int32) {
+		need := h - 1 - depth
+		if need > len(cand) {
+			return
+		}
+		if depth == h-2 {
+			for _, u := range cand {
+				others[depth] = u
+				fn(others)
+			}
+			return
+		}
+		for i, u := range cand {
+			others[depth] = u
+			next := graph.IntersectSorted(cand[i+1:], g.Neighbors(int(u)), bufs[depth+1])
+			rec(depth+1, next)
+			bufs[depth+1] = next[:0]
+		}
+	}
+	rec(0, cand)
+}
+
+// Key is a canonical fixed-size identifier for a clique of up to MaxH
+// vertices: the member ids in increasing order, padded with -1. It is used
+// to index (h−1)-cliques when building flow networks.
+type Key [MaxH]int32
+
+// MakeKey builds the canonical key of a clique given in any order.
+func MakeKey(members []int32) Key {
+	var k Key
+	for i := range k {
+		k[i] = -1
+	}
+	copy(k[:], members)
+	// Insertion sort: cliques have at most MaxH members.
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && k[j-1] > k[j]; j-- {
+			k[j-1], k[j] = k[j], k[j-1]
+		}
+	}
+	return k
+}

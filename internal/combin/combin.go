@@ -1,0 +1,28 @@
+// Package combin provides the saturating binomial coefficients used for
+// clique-degree bounds (CoreApp's γ(v,Ψ) = C(x,h−1)) and the star/diamond
+// fast counters of Appendix D.
+package combin
+
+import "math"
+
+// Binom returns C(n,k), saturating at math.MaxInt64 instead of
+// overflowing. It returns 0 when k < 0 or n < k, and 1 when k == 0,
+// matching the conventions the paper's formulas rely on.
+func Binom(n, k int64) int64 {
+	if k < 0 || n < k {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := int64(1)
+	for i := int64(1); i <= k; i++ {
+		// res = res * (n-k+i) / i, with overflow saturation.
+		f := n - k + i
+		if res > math.MaxInt64/f {
+			return math.MaxInt64
+		}
+		res = res * f / i
+	}
+	return res
+}

@@ -1,0 +1,60 @@
+package combin
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomSmall(t *testing.T) {
+	cases := []struct {
+		n, k, want int64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 1, 5},
+		{5, 2, 10},
+		{5, 5, 1},
+		{5, 6, 0},
+		{4, -1, 0},
+		{-1, 0, 0}, // n < k with k=0? n=-1 < 0 → 0
+		{10, 3, 120},
+		{52, 5, 2598960},
+		{31, 2, 465},
+	}
+	for _, c := range cases {
+		if got := Binom(c.n, c.k); got != c.want {
+			t.Errorf("Binom(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomSymmetry(t *testing.T) {
+	for n := int64(0); n <= 30; n++ {
+		for k := int64(0); k <= n; k++ {
+			if Binom(n, k) != Binom(n, n-k) {
+				t.Fatalf("Binom(%d,%d) != Binom(%d,%d)", n, k, n, n-k)
+			}
+		}
+	}
+}
+
+func TestBinomPascal(t *testing.T) {
+	for n := int64(1); n <= 40; n++ {
+		for k := int64(1); k <= n; k++ {
+			if Binom(n, k) != Binom(n-1, k-1)+Binom(n-1, k) {
+				t.Fatalf("Pascal identity fails at (%d,%d)", n, k)
+			}
+		}
+	}
+}
+
+func TestBinomSaturation(t *testing.T) {
+	// C(100000, 6) overflows int64; the result must saturate, not wrap.
+	if got := Binom(100000, 6); got != math.MaxInt64 {
+		t.Fatalf("Binom(1e5,6) = %d, want saturation", got)
+	}
+	// A large but representable value stays exact.
+	if got := Binom(40, 20); got != 137846528820 {
+		t.Fatalf("Binom(40,20) = %d, want 137846528820", got)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestQueryDensestBasic(t *testing.T) {
+	// Triangle {0,1,2} plus a pendant path 2-3-4. Querying {4} forces the
+	// answer to include vertex 4.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}})
+	res, err := QueryDensest(g, []int32{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Vertices {
+		if v == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("query vertex missing from %v", res.Vertices)
+	}
+	want, _ := QueryDensestBrute(g, []int32{4})
+	if res.Density.Cmp(want) != 0 {
+		t.Fatalf("density %v, brute %v", res.Density, want)
+	}
+}
+
+func TestQueryDensestUnconstrainedMatchesEDS(t *testing.T) {
+	// Querying a vertex of the true EDS returns the EDS itself.
+	g := graph.FromEdges(7, [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, // K4
+		{3, 4}, {4, 5}, {5, 6},
+	})
+	eds := CoreExact(g, 2)
+	res, err := QueryDensest(g, []int32{eds.Vertices[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density.Cmp(eds.Density) != 0 {
+		t.Fatalf("anchored %v != EDS %v", res.Density, eds.Density)
+	}
+}
+
+func TestQueryDensestMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.GNM(9, 18, seed)
+		queries := [][]int32{{0}, {0, 1}, {2, 5, 7}}
+		for _, q := range queries {
+			res, err := QueryDensest(g, q)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			want, _ := QueryDensestBrute(g, q)
+			if res.Density.Cmp(want) != 0 {
+				t.Logf("seed %d q=%v: got %v want %v", seed, q, res.Density, want)
+				return false
+			}
+			// All query vertices present.
+			set := map[int32]bool{}
+			for _, v := range res.Vertices {
+				set[v] = true
+			}
+			for _, qq := range q {
+				if !set[qq] {
+					t.Logf("seed %d: query %d missing", seed, qq)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryDensestErrors(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	if _, err := QueryDensest(g, nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := QueryDensest(g, []int32{99}); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+}
+
+func TestQueryDensestIsolatedQuery(t *testing.T) {
+	// The query vertex is isolated: the best anchored subgraph still must
+	// contain it.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 2}})
+	res, err := QueryDensest(g, []int32{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := QueryDensestBrute(g, []int32{4})
+	if res.Density.Cmp(want) != 0 {
+		t.Fatalf("density %v, brute %v", res.Density, want)
+	}
+}

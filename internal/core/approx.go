@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/pattern"
+	"repro/internal/psicore"
+)
+
+// The approximation algorithms. All guarantee ρ(S*) ≥ ρopt/|VΨ| (Lemma 8 /
+// Lemma 10): PeelApp via the peeling argument of Charikar/Tsourakakis,
+// IncApp/CoreApp/Nucleus by returning (a superset-free copy of) the
+// (kmax,Ψ)-core, whose density Theorem 1 bounds below by kmax/|VΨ|.
+
+// PeelApp is Algorithm 2: repeatedly remove the vertex with minimum
+// Ψ-degree and return the densest residual subgraph.
+func PeelApp(g *graph.Graph, o motif.Oracle) *Result {
+	start := time.Now()
+	dec := psicore.Decompose(g, o)
+	res := &Result{
+		Vertices: dec.BestResidualVertices(),
+		Mu:       dec.BestResidualMu,
+		Density:  dec.BestResidual,
+	}
+	sortVertices(res.Vertices)
+	res.Stats.Decompose = time.Since(start)
+	res.Stats.Total = time.Since(start)
+	return res
+}
+
+// IncApp is Algorithm 5: full (k,Ψ)-core decomposition, returning the
+// (kmax,Ψ)-core.
+func IncApp(g *graph.Graph, o motif.Oracle) *Result {
+	start := time.Now()
+	dec := psicore.Decompose(g, o)
+	res := evaluate(g, o, dec.KMaxCoreVertices())
+	res.Stats.Decompose = time.Since(start)
+	res.Stats.Total = time.Since(start)
+	return res
+}
+
+// CoreApp is Algorithm 6: extract the (kmax,Ψ)-core top-down from windows
+// of high-γ vertices, skipping the computation of lower cores.
+func CoreApp(g *graph.Graph, o motif.Oracle) *Result {
+	start := time.Now()
+	ca := psicore.CoreApp(g, o)
+	res := evaluate(g, o, ca.Vertices)
+	res.Stats.Total = time.Since(start)
+	return res
+}
+
+// Nucleus is the baseline that computes the (kmax,Ψ)-core with the
+// local (AND-style) nucleus decomposition instead of peeling.
+func Nucleus(g *graph.Graph, o motif.Oracle) *Result {
+	start := time.Now()
+	dec := psicore.NucleusDecompose(g, o)
+	res := evaluate(g, o, dec.KMaxCoreVertices())
+	res.Stats.Decompose = time.Since(start)
+	res.Stats.Total = time.Since(start)
+	return res
+}
+
+// PeelAppPattern, IncAppPattern and CoreAppPattern are the PDS variants of
+// the approximation algorithms (Section 7.2): identical drivers over the
+// pattern oracle.
+func PeelAppPattern(g *graph.Graph, p *pattern.Pattern) *Result { return PeelApp(g, motif.For(p)) }
+
+// IncAppPattern runs IncApp for a general pattern.
+func IncAppPattern(g *graph.Graph, p *pattern.Pattern) *Result { return IncApp(g, motif.For(p)) }
+
+// CoreAppPattern runs CoreApp for a general pattern.
+func CoreAppPattern(g *graph.Graph, p *pattern.Pattern) *Result { return CoreApp(g, motif.For(p)) }
+
+func sortVertices(vs []int32) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/rational"
+)
+
+// Certify checks the verifiable certificates of a densest-subgraph result
+// without re-running the search:
+//
+//  1. consistency — µ and ρ match a recount of the returned vertex set;
+//  2. the Lemma-4 necessary condition — every vertex of D participates in
+//     at least ⌈ρ(D)⌉ instances within D (any exact optimum satisfies it);
+//  3. local maximality — removing any single vertex of D, or adding any
+//     single outside neighbor, does not increase the density.
+//
+// Conditions 2 and 3 are necessary but not sufficient for global
+// optimality; they catch corrupted or heuristically-degraded answers
+// cheaply (O(|D|) density recounts). Approximation results should be
+// checked with exact=false, which verifies only consistency.
+func Certify(g *graph.Graph, o motif.Oracle, res *Result, exact bool) error {
+	if len(res.Vertices) == 0 {
+		if !res.Density.IsZero() {
+			return fmt.Errorf("core: empty vertex set with density %v", res.Density)
+		}
+		return nil
+	}
+	sub := g.Induced(res.Vertices)
+	mu, deg := o.CountAndDegrees(sub.Graph)
+	if mu != res.Mu {
+		return fmt.Errorf("core: µ recount %d != reported %d", mu, res.Mu)
+	}
+	den := rational.New(mu, int64(sub.N()))
+	if den.Cmp(res.Density) != 0 {
+		return fmt.Errorf("core: density recount %v != reported %v", den, res.Density)
+	}
+	if !exact {
+		return nil
+	}
+
+	// Lemma 4: deleting any vertex of the optimum removes ≥ ρopt
+	// instances, so every vertex participates in ≥ ⌈ρopt⌉ of them.
+	need := den.Ceil()
+	for lv, d := range deg {
+		if d < need {
+			return fmt.Errorf("core: vertex %d participates in %d < ⌈ρ⌉ = %d instances (Lemma 4 violated)",
+				sub.Orig[lv], d, need)
+		}
+	}
+
+	// Local maximality, removal direction: ρ(D \ {v}) ≤ ρ(D) is implied
+	// by Lemma 4 arithmetic; check it directly with exact rationals.
+	for lv := 0; lv < sub.N(); lv++ {
+		rest := rational.New(mu-deg[lv], int64(sub.N()-1))
+		if sub.N() > 1 && rest.Greater(den) {
+			return fmt.Errorf("core: removing vertex %d improves density %v → %v",
+				sub.Orig[lv], den, rest)
+		}
+	}
+
+	// Local maximality, addition direction: for every outside neighbor u
+	// of D, ρ(D ∪ {u}) ≤ ρ(D).
+	inD := make(map[int32]bool, len(res.Vertices))
+	for _, v := range res.Vertices {
+		inD[v] = true
+	}
+	seen := map[int32]bool{}
+	for _, v := range res.Vertices {
+		for _, u := range g.Neighbors(int(v)) {
+			if inD[u] || seen[u] {
+				continue
+			}
+			seen[u] = true
+			ext := append(append([]int32(nil), res.Vertices...), u)
+			extSub := g.Induced(ext)
+			extMu, _ := o.CountAndDegrees(extSub.Graph)
+			if rational.New(extMu, int64(extSub.N())).Greater(den) {
+				return fmt.Errorf("core: adding vertex %d improves density", u)
+			}
+		}
+	}
+	return nil
+}

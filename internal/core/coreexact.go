@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/pattern"
+	"repro/internal/psicore"
+	"repro/internal/rational"
+)
+
+// Options selects CoreExact's pruning strategies (Figure 10 ablates them
+// individually). DefaultOptions enables everything.
+type Options struct {
+	// Pruning1 locates the CDS in the (⌈ρ′⌉,Ψ)-core, where ρ′ is the best
+	// residual density observed during core decomposition. When disabled,
+	// the weaker Theorem-1 bound ⌈kmax/|VΨ|⌉ locates the core.
+	Pruning1 bool
+	// Pruning2 refines the location per connected component: k″ = ⌈ρ″⌉
+	// with ρ″ the maximum component density.
+	Pruning2 bool
+	// Pruning3 stops each component's binary search at gap
+	// 1/(|V_C|(|V_C|−1)) instead of the global 1/(n(n−1)).
+	Pruning3 bool
+	// Grouped uses the construct+ grouped flow network (Algorithm 7);
+	// meaningful for non-clique patterns only.
+	Grouped bool
+}
+
+// DefaultOptions is full CoreExact: all prunings on, construct+ on.
+func DefaultOptions() Options {
+	return Options{Pruning1: true, Pruning2: true, Pruning3: true, Grouped: true}
+}
+
+// CoreExact is the paper's core-based exact CDS algorithm (Algorithm 4)
+// for h-clique density.
+func CoreExact(g *graph.Graph, h int) *Result {
+	return CoreExactOpts(g, h, DefaultOptions())
+}
+
+// CoreExactOpts runs CoreExact with explicit pruning options.
+func CoreExactOpts(g *graph.Graph, h int, opts Options) *Result {
+	return coreExactDriver(g, motif.Clique{H: h}, opts)
+}
+
+// CorePExact is the core-based exact PDS algorithm (Section 7.2): the
+// CoreExact skeleton over pattern cores with the construct+ network.
+func CorePExact(g *graph.Graph, p *pattern.Pattern) *Result {
+	return coreExactDriver(g, motif.For(p), DefaultOptions())
+}
+
+// CorePExactOpts runs CorePExact with explicit options.
+func CorePExactOpts(g *graph.Graph, p *pattern.Pattern, opts Options) *Result {
+	return coreExactDriver(g, motif.For(p), opts)
+}
+
+func coreExactDriver(g *graph.Graph, o motif.Oracle, opts Options) *Result {
+	start := time.Now()
+	var stats Stats
+
+	// Step 1: (k,Ψ)-core decomposition (Algorithm 4 line 1).
+	dec := psicore.Decompose(g, o)
+	stats.Decompose = time.Since(start)
+	if dec.TotalInstances == 0 {
+		r := &Result{}
+		r.Stats = stats
+		r.Stats.Total = time.Since(start)
+		return r
+	}
+	p := int64(o.Size())
+
+	// Step 2: locate the CDS in a core and establish the witness/lower
+	// bound l (lines 2-4).
+	var (
+		witness []int32    // current best subgraph, original ids
+		lower   rational.R // exact density of witness
+	)
+	if opts.Pruning1 {
+		witness = dec.BestResidualVertices()
+		lower = dec.BestResidual
+	} else {
+		witness = dec.KMaxCoreVertices()
+		lower, _ = densityOf(g, o, witness)
+		// Theorem 1 guarantees ρ(R_kmax) ≥ kmax/|VΨ|; the exact density of
+		// the witness is at least that and costs one count.
+		if thm1 := rational.New(dec.KMax, p); thm1.Greater(lower) {
+			lower = thm1 // cannot happen, kept as a guard
+		}
+	}
+	kLocate := lower.Ceil()
+	coreVerts := dec.CoreVertices(kLocate)
+	if len(coreVerts) == 0 {
+		// ⌈ρ′⌉ can exceed kmax only through rounding of an empty bound;
+		// fall back to the kmax-core.
+		coreVerts = dec.KMaxCoreVertices()
+	}
+	coreSub := g.Induced(coreVerts)
+	comps := coreSub.ConnectedComponents()
+
+	// components in original ids.
+	components := make([][]int32, 0, len(comps))
+	for _, c := range comps {
+		if int64(len(c)) < p {
+			continue
+		}
+		orig := make([]int32, len(c))
+		for i, lv := range c {
+			orig[i] = coreSub.Orig[lv]
+		}
+		components = append(components, orig)
+	}
+
+	// Pruning2: per-component densities refine k″ and the witness.
+	if opts.Pruning2 {
+		dens := make([]rational.R, len(components))
+		for i, c := range components {
+			d, _ := densityOf(g, o, c)
+			dens[i] = d
+			if d.Greater(lower) {
+				lower = d
+				witness = c
+			}
+		}
+		// Search densest components first so l rises quickly.
+		idx := make([]int, len(components))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return dens[idx[b]].Less(dens[idx[a]]) })
+		ordered := make([][]int32, len(components))
+		for i, j := range idx {
+			ordered[i] = components[j]
+		}
+		components = ordered
+		k2 := lower.Ceil()
+		if k2 > kLocate {
+			kLocate = k2
+			filtered := components[:0]
+			for _, c := range components {
+				keep := filterCore(c, dec, kLocate)
+				if int64(len(keep)) >= p {
+					filtered = append(filtered, keep)
+				}
+			}
+			components = filtered
+		}
+	}
+
+	n := g.N()
+	globalStop := 1.0 / (float64(n) * float64(n-1))
+
+	// Step 3: per-component binary search with shrinking flow networks
+	// (lines 5-20).
+	for _, comp := range components {
+		cur := comp
+		curK := kLocate
+		// Shrink by the global lower bound before building anything
+		// (line 6).
+		if lk := lower.Ceil(); lk > curK {
+			cur = filterCore(cur, dec, lk)
+			curK = lk
+		}
+		if int64(len(cur)) < p {
+			continue
+		}
+		sub := g.Induced(cur)
+		sd := makeSide(sub.Graph, o, opts.Grouped)
+
+		// Feasibility probe at α = l (lines 7-9): skip the component if
+		// nothing in it beats the current witness.
+		net := sd.Build(lower.Float())
+		stats.FlowNodes = append(stats.FlowNodes, sd.Nodes())
+		stats.Iterations++
+		vs := net.SolveVertices()
+		if len(vs) == 0 {
+			continue
+		}
+		best := toOrig(sub, vs)
+
+		lc := lower.Float()
+		uc := float64(dec.KMax)
+		for {
+			stop := globalStop
+			if opts.Pruning3 {
+				vc := float64(sub.N())
+				stop = 1.0 / (vc * (vc - 1))
+			}
+			if uc-lc < stop {
+				break
+			}
+			alpha := (lc + uc) / 2
+			net = sd.Build(alpha)
+			stats.FlowNodes = append(stats.FlowNodes, sd.Nodes())
+			stats.Iterations++
+			vs = net.SolveVertices()
+			if len(vs) == 0 {
+				uc = alpha
+				continue
+			}
+			lc = alpha
+			best = toOrig(sub, vs)
+			// Relocate in a higher core once the bound crosses an integer
+			// boundary (line 17, §6.1 ③): networks shrink monotonically.
+			if lk := int64(math.Ceil(alpha)); lk > curK {
+				shrunk := filterCore(cur, dec, lk)
+				if int64(len(shrunk)) >= p && len(shrunk) < len(cur) {
+					cur = shrunk
+					curK = lk
+					sub = g.Induced(cur)
+					sd = makeSide(sub.Graph, o, opts.Grouped)
+				}
+			}
+		}
+		if d, _ := densityOf(g, o, best); d.Greater(lower) {
+			lower = d
+			witness = best
+		}
+	}
+
+	res := evaluate(g, o, witness)
+	res.Stats = stats
+	res.Stats.Decompose = stats.Decompose
+	res.Stats.Total = time.Since(start)
+	return res
+}
+
+// filterCore keeps the vertices of vs whose Ψ-core number is ≥ k.
+func filterCore(vs []int32, dec *psicore.Decomposition, k int64) []int32 {
+	out := make([]int32, 0, len(vs))
+	for _, v := range vs {
+		if dec.Core[v] >= k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// toOrig maps local subgraph vertex ids back to original graph ids.
+func toOrig(sub *graph.Subgraph, vs []int32) []int32 {
+	out := make([]int32, len(vs))
+	for i, lv := range vs {
+		out[i] = sub.Orig[lv]
+	}
+	return out
+}

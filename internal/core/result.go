@@ -1,0 +1,59 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/rational"
+)
+
+// Result is a densest-subgraph answer: the vertex set D, its instance
+// count µ(D,Ψ) and its exact density ρ(D,Ψ) = µ/|V_D|.
+type Result struct {
+	// Vertices is D's vertex set in the input graph's ids, sorted.
+	Vertices []int32
+	// Mu is µ(D,Ψ), the number of Ψ-instances inside D.
+	Mu int64
+	// Density is the exact density µ/|V_D|.
+	Density rational.R
+	// Stats carries per-run instrumentation.
+	Stats Stats
+}
+
+// Stats instruments a run for the paper's efficiency figures.
+type Stats struct {
+	// Decompose is the time spent in (k,Ψ)-core decomposition (Table 3).
+	Decompose time.Duration
+	// Total is the wall-clock time of the whole run.
+	Total time.Duration
+	// FlowNodes records the node count of every flow network built, in
+	// order (Figure 9: networks shrink across binary-search iterations).
+	FlowNodes []int
+	// Iterations counts binary-search iterations (min-cut computations).
+	Iterations int
+}
+
+// evaluate builds the Result for the subgraph of g induced by vs.
+func evaluate(g *graph.Graph, o motif.Oracle, vs []int32) *Result {
+	if len(vs) == 0 {
+		return &Result{Density: rational.Zero}
+	}
+	sub := g.Induced(vs)
+	mu, _ := o.CountAndDegrees(sub.Graph)
+	return &Result{
+		Vertices: sub.Orig,
+		Mu:       mu,
+		Density:  rational.New(mu, int64(len(sub.Orig))),
+	}
+}
+
+// densityOf computes the exact Ψ-density of the subgraph induced by vs.
+func densityOf(g *graph.Graph, o motif.Oracle, vs []int32) (rational.R, int64) {
+	if len(vs) == 0 {
+		return rational.Zero, 0
+	}
+	sub := g.Induced(vs)
+	mu, _ := o.CountAndDegrees(sub.Graph)
+	return rational.New(mu, int64(len(sub.Orig))), mu
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"repro/internal/flownet"
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// side abstracts the flow-network construction for one fixed graph so the
+// binary-search drivers (Exact, CoreExact, PExact, CorePExact) are written
+// once. A side is built per graph (or per component) and can then emit
+// networks for any α.
+type side interface {
+	// Build returns the flow network for guess α.
+	Build(alpha float64) *flownet.Net
+	// Nodes returns the network's node count (Figure 9's metric).
+	Nodes() int
+	// MaxMotifDeg is max_v deg(v,Ψ), the initial binary-search upper bound
+	// of Algorithm 1.
+	MaxMotifDeg() int64
+}
+
+// makeSide picks the network family: Goldberg's simplified network for
+// edges, the (h−1)-clique network for h-cliques, and the instance network
+// for patterns (grouped = construct+).
+func makeSide(g *graph.Graph, o motif.Oracle, grouped bool) side {
+	if c, ok := o.(motif.Clique); ok {
+		if c.H == 2 {
+			return &edsSide{g: g}
+		}
+		return &cdsSide{n: g.N(), cs: flownet.NewCliqueSide(g, c.H)}
+	}
+	return &pdsSide{n: g.N(), ps: flownet.NewPatternSide(g, o, grouped)}
+}
+
+type edsSide struct{ g *graph.Graph }
+
+func (s *edsSide) Build(alpha float64) *flownet.Net { return flownet.BuildEDS(s.g, alpha) }
+func (s *edsSide) Nodes() int                       { return 2 + s.g.N() }
+func (s *edsSide) MaxMotifDeg() int64               { return int64(s.g.MaxDegree()) }
+
+type cdsSide struct {
+	n  int
+	cs *flownet.CliqueSide
+}
+
+func (s *cdsSide) Build(alpha float64) *flownet.Net { return flownet.BuildCDS(s.n, s.cs, alpha) }
+func (s *cdsSide) Nodes() int                       { return s.cs.NumNodes(s.n) }
+func (s *cdsSide) MaxMotifDeg() int64 {
+	var d int64
+	for _, x := range s.cs.Deg {
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+type pdsSide struct {
+	n  int
+	ps *flownet.PatternSide
+}
+
+func (s *pdsSide) Build(alpha float64) *flownet.Net { return flownet.BuildPDS(s.n, s.ps, alpha) }
+func (s *pdsSide) Nodes() int                       { return s.ps.NumNodes(s.n) }
+func (s *pdsSide) MaxMotifDeg() int64 {
+	var d int64
+	for _, x := range s.ps.Deg {
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}

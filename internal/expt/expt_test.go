@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// smokeConfig is far smaller than QuickConfig: every experiment must
+// complete in well under a second so the whole suite stays fast.
+func smokeConfig(out io.Writer) Config {
+	c := QuickConfig(out)
+	c.Div = 64
+	c.MaxH = 3
+	c.LinkBudget = 200_000
+	c.InstanceBudget = 100_000
+	return c
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment smoke test in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := smokeConfig(&buf)
+			if err := e.Run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestGetAndAll(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(all))
+	}
+	for _, e := range all {
+		got, err := Get(e.ID)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", e.ID, err)
+		}
+		if got.ID != e.ID {
+			t.Fatalf("Get(%s) returned %s", e.ID, got.ID)
+		}
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tab := newTable(&buf, "a", "b")
+	tab.row("1", "2")
+	tab.row("333", "4")
+	tab.flush()
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "333") {
+		t.Fatalf("table output %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d, want 3", len(lines))
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	d := DefaultConfig(io.Discard)
+	q := QuickConfig(io.Discard)
+	if q.Div <= d.Div || q.MaxH >= d.MaxH {
+		t.Fatal("QuickConfig not smaller than DefaultConfig")
+	}
+	if !q.Quick || d.Quick {
+		t.Fatal("Quick flags wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/motif"
+)
+
+func TestCliqueNetworkCostBudget(t *testing.T) {
+	// A K12 has C(12,3)=220 triangles and C(12,4)=495 4-cliques.
+	g := gen.SSCA(12, 12, 1)
+	lambda, links, ok := cliqueNetworkCost(g, 4, 1_000_000)
+	if !ok {
+		t.Fatal("tiny graph exceeded a huge budget")
+	}
+	if lambda == 0 || links == 0 {
+		t.Fatalf("lambda=%d links=%d", lambda, links)
+	}
+	// With budget 10, the count must stop early and report not-within.
+	_, _, ok = cliqueNetworkCost(g, 4, 10)
+	if ok {
+		t.Fatal("budget 10 not exceeded on K12")
+	}
+	// h=2 is edges only.
+	lambda, links, ok = cliqueNetworkCost(g, 2, 1)
+	if !ok || lambda != 0 || links != int64(g.M()) {
+		t.Fatalf("h=2 cost = (%d,%d,%v)", lambda, links, ok)
+	}
+}
+
+func TestMotifInstanceCostDelegates(t *testing.T) {
+	g := gen.GNM(20, 60, 2)
+	total, ok := motifInstanceCost(g, motif.Clique{H: 3}, 1_000_000)
+	want := motif.Count(motif.Clique{H: 3}, g)
+	if !ok || total != want {
+		t.Fatalf("got (%d,%v), want (%d,true)", total, ok, want)
+	}
+}
+
+func TestLoadRespectsDivisors(t *testing.T) {
+	spec, err := datasets.Get("Ca-HepTh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(nil)
+	cfg.Div = 4
+	g := load(cfg, spec)
+	if g.N() >= spec.N {
+		t.Fatalf("div 4 load has n=%d ≥ %d", g.N(), spec.N)
+	}
+}
+
+func TestHRange(t *testing.T) {
+	cfg := DefaultConfig(nil)
+	cfg.MaxH = 4
+	hs := hRange(cfg)
+	if len(hs) != 3 || hs[0] != 2 || hs[2] != 4 {
+		t.Fatalf("hRange = %v", hs)
+	}
+}
+
+func TestSecsFormatting(t *testing.T) {
+	if got := secs(1500 * 1e6); got != "1.500s" {
+		t.Fatalf("secs = %q", got)
+	}
+}

@@ -1,0 +1,131 @@
+// Package flow implements maximum flow / minimum s-t cut with Dinic's
+// algorithm over float64 capacities. The densest-subgraph flow networks of
+// the paper mix integer capacities (clique degrees, instance arities) with
+// fractional ones (α·|VΨ|) and +∞ edges, so capacities are float64 with an
+// explicit residual tolerance.
+package flow
+
+import "math"
+
+// Eps is the residual-capacity tolerance: edges with residual ≤ Eps are
+// treated as saturated.
+const Eps = 1e-9
+
+// Inf is the capacity used for the paper's +∞ edges.
+var Inf = math.Inf(1)
+
+// Network is a directed flow network under construction or after a
+// max-flow run. Nodes are dense ints; add edges with AddEdge, then call
+// MaxFlow once.
+type Network struct {
+	head [][]int32 // per node: indices into the edge arrays
+	to   []int32
+	cap  []float64 // residual capacity
+	// iter/level are Dinic working state.
+	level []int32
+	iter  []int32
+}
+
+// NewNetwork creates a network with n nodes.
+func NewNetwork(n int) *Network {
+	return &Network{head: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (f *Network) N() int { return len(f.head) }
+
+// NumEdges returns the number of directed edges added (excluding the
+// implicit reverse edges).
+func (f *Network) NumEdges() int { return len(f.to) / 2 }
+
+// AddEdge adds a directed edge u→v with the given capacity (and the
+// implicit residual reverse edge of capacity 0).
+func (f *Network) AddEdge(u, v int, capacity float64) {
+	f.head[u] = append(f.head[u], int32(len(f.to)))
+	f.to = append(f.to, int32(v))
+	f.cap = append(f.cap, capacity)
+	f.head[v] = append(f.head[v], int32(len(f.to)))
+	f.to = append(f.to, int32(u))
+	f.cap = append(f.cap, 0)
+}
+
+func (f *Network) bfs(s, t int) bool {
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	f.level[s] = 0
+	queue := make([]int32, 0, len(f.head))
+	queue = append(queue, int32(s))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range f.head[v] {
+			w := f.to[ei]
+			if f.cap[ei] > Eps && f.level[w] < 0 {
+				f.level[w] = f.level[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return f.level[t] >= 0
+}
+
+func (f *Network) dfs(v, t int, pushed float64) float64 {
+	if v == t {
+		return pushed
+	}
+	for ; f.iter[v] < int32(len(f.head[v])); f.iter[v]++ {
+		ei := f.head[v][f.iter[v]]
+		w := f.to[ei]
+		if f.cap[ei] <= Eps || f.level[w] != f.level[v]+1 {
+			continue
+		}
+		d := f.dfs(int(w), t, math.Min(pushed, f.cap[ei]))
+		if d > Eps {
+			f.cap[ei] -= d
+			f.cap[ei^1] += d
+			return d
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum s-t flow, mutating residual capacities.
+func (f *Network) MaxFlow(s, t int) float64 {
+	f.level = make([]int32, f.N())
+	f.iter = make([]int32, f.N())
+	var total float64
+	for f.bfs(s, t) {
+		for i := range f.iter {
+			f.iter[i] = 0
+		}
+		for {
+			d := f.dfs(s, t, Inf)
+			if d <= Eps {
+				break
+			}
+			total += d
+		}
+	}
+	return total
+}
+
+// MinCutSource returns, after MaxFlow, the source side S of a minimum
+// s-t cut: all nodes reachable from s in the residual network.
+func (f *Network) MinCutSource(s int) []bool {
+	inS := make([]bool, f.N())
+	inS[s] = true
+	stack := []int32{int32(s)}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range f.head[v] {
+			w := f.to[ei]
+			if f.cap[ei] > Eps && !inS[w] {
+				inS[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return inS
+}

@@ -1,0 +1,118 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	// s -> a -> t with capacities 3, 2: max flow 2.
+	f := NewNetwork(3)
+	f.AddEdge(0, 1, 3)
+	f.AddEdge(1, 2, 2)
+	if got := f.MaxFlow(0, 2); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("max flow = %f, want 2", got)
+	}
+}
+
+func TestClassicDiamond(t *testing.T) {
+	// The classic 4-node example: s=0, t=3.
+	// s->1 (10), s->2 (10), 1->2 (1), 1->3 (10), 2->3 (10); max flow 20.
+	f := NewNetwork(4)
+	f.AddEdge(0, 1, 10)
+	f.AddEdge(0, 2, 10)
+	f.AddEdge(1, 2, 1)
+	f.AddEdge(1, 3, 10)
+	f.AddEdge(2, 3, 10)
+	if got := f.MaxFlow(0, 3); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("max flow = %f, want 20", got)
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	// s->1 (5), 1->2 (1), 2->t (5): bottleneck 1.
+	f := NewNetwork(4)
+	f.AddEdge(0, 1, 5)
+	f.AddEdge(1, 2, 1)
+	f.AddEdge(2, 3, 5)
+	if got := f.MaxFlow(0, 3); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("max flow = %f, want 1", got)
+	}
+	inS := f.MinCutSource(0)
+	if !inS[0] || !inS[1] || inS[2] || inS[3] {
+		t.Fatalf("min cut source side = %v, want {0,1}", inS)
+	}
+}
+
+func TestInfiniteEdges(t *testing.T) {
+	// s->1 (4), 1->2 (+inf), 2->t (3): max flow 3.
+	f := NewNetwork(4)
+	f.AddEdge(0, 1, 4)
+	f.AddEdge(1, 2, Inf)
+	f.AddEdge(2, 3, 3)
+	if got := f.MaxFlow(0, 3); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("max flow = %f, want 3", got)
+	}
+}
+
+func TestFractionalCapacities(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddEdge(0, 1, 2.5)
+	f.AddEdge(1, 2, 1.75)
+	if got := f.MaxFlow(0, 2); math.Abs(got-1.75) > 1e-9 {
+		t.Fatalf("max flow = %f, want 1.75", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	f := NewNetwork(4)
+	f.AddEdge(0, 1, 5)
+	f.AddEdge(2, 3, 5)
+	if got := f.MaxFlow(0, 3); got > Eps {
+		t.Fatalf("max flow = %f, want 0", got)
+	}
+	inS := f.MinCutSource(0)
+	if !inS[0] || !inS[1] || inS[2] || inS[3] {
+		t.Fatalf("cut = %v", inS)
+	}
+}
+
+func TestMaxFlowEqualsMinCutCapacity(t *testing.T) {
+	// Random-ish fixed network: verify flow value equals the capacity of
+	// the returned cut (max-flow min-cut theorem as a self-check).
+	f := NewNetwork(6)
+	type e struct {
+		u, v int
+		c    float64
+	}
+	edges := []e{
+		{0, 1, 3}, {0, 2, 7}, {1, 3, 2.5}, {2, 3, 2}, {1, 4, 4},
+		{2, 4, 1}, {3, 5, 8}, {4, 5, 3.5}, {3, 4, 1.5},
+	}
+	for _, ed := range edges {
+		f.AddEdge(ed.u, ed.v, ed.c)
+	}
+	got := f.MaxFlow(0, 5)
+	inS := f.MinCutSource(0)
+	var cut float64
+	for _, ed := range edges {
+		if inS[ed.u] && !inS[ed.v] {
+			cut += ed.c
+		}
+	}
+	if math.Abs(got-cut) > 1e-6 {
+		t.Fatalf("flow %f != cut capacity %f", got, cut)
+	}
+}
+
+func TestNumEdges(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddEdge(0, 1, 1)
+	f.AddEdge(1, 2, 1)
+	if f.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", f.NumEdges())
+	}
+	if f.N() != 3 {
+		t.Fatalf("N = %d, want 3", f.N())
+	}
+}

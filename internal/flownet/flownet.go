@@ -1,0 +1,219 @@
+// Package flownet builds the densest-subgraph flow networks of the paper:
+// Goldberg's simplified network for edge density (§4.1 remark), the
+// (h−1)-clique network of Algorithm 1 for h-clique density, the
+// pattern-instance network of PExact (Algorithm 8), and the grouped
+// construct+ network of Algorithm 7 used by CorePExact.
+//
+// All builders share the node layout: node 0 = source s, node 1 = sink t,
+// node 2+i = graph vertex i, nodes after that = instance (or group) nodes.
+// The decision they encode: the min s-t cut's source side contains a
+// non-source node iff the graph has a subgraph of Ψ-density ≥ α (strictly
+// greater in the generic position); the vertex part of the source side
+// induces such a subgraph.
+package flownet
+
+import (
+	"repro/internal/clique"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+const (
+	// Source and Sink are the fixed node ids of s and t.
+	Source = 0
+	Sink   = 1
+	// VertexBase is the node id of graph vertex 0.
+	VertexBase = 2
+)
+
+// Net couples a flow network with the graph it was built from.
+type Net struct {
+	*flow.Network
+	NVertices int
+}
+
+// VertexNode returns the network node of graph vertex v.
+func VertexNode(v int) int { return VertexBase + v }
+
+// SolveVertices runs max-flow/min-cut and returns the graph vertices on
+// the source side, or nil when the cut is {s} (no subgraph denser than α).
+func (n *Net) SolveVertices() []int32 {
+	n.MaxFlow(Source, Sink)
+	inS := n.MinCutSource(Source)
+	var vs []int32
+	for v := 0; v < n.NVertices; v++ {
+		if inS[VertexNode(v)] {
+			vs = append(vs, int32(v))
+		}
+	}
+	return vs
+}
+
+// BuildEDS builds Goldberg's simplified network for edge density (h = 2):
+// s→v with capacity m, v→t with capacity m + 2α − deg(v), and u↔v with
+// capacity 1 per direction for every edge.
+func BuildEDS(g *graph.Graph, alpha float64) *Net {
+	n := g.N()
+	m := float64(g.M())
+	f := flow.NewNetwork(2 + n)
+	for v := 0; v < n; v++ {
+		f.AddEdge(Source, VertexNode(v), m)
+		f.AddEdge(VertexNode(v), Sink, m+2*alpha-float64(g.Degree(v)))
+	}
+	g.Edges(func(u, v int) {
+		f.AddEdge(VertexNode(u), VertexNode(v), 1)
+		f.AddEdge(VertexNode(v), VertexNode(u), 1)
+	})
+	return &Net{Network: f, NVertices: n}
+}
+
+// CliqueSide is the precomputed clique structure reused across the binary
+// search iterations of Exact/CoreExact: the (h−1)-clique instances of the
+// graph and, for each h-clique, its membership links.
+type CliqueSide struct {
+	H int
+	// Deg[v] = deg(v,Ψ) in the graph the side was computed on.
+	Deg []int64
+	// Lambda[j] holds the members of (h−1)-clique j.
+	Lambda [][]int32
+	// Links[k] = (vertex v, lambda index j) meaning v completes (h−1)-clique
+	// j into an h-clique.
+	LinkV []int32
+	LinkL []int32
+}
+
+// NewCliqueSide enumerates the (h−1)-cliques and h-cliques of g (h ≥ 3).
+func NewCliqueSide(g *graph.Graph, h int) *CliqueSide {
+	cs := &CliqueSide{H: h, Deg: make([]int64, g.N())}
+	l := clique.NewLister(g)
+	index := make(map[clique.Key]int32)
+	l.ForEach(h-1, func(c []int32) {
+		k := clique.MakeKey(c)
+		if _, ok := index[k]; !ok {
+			index[k] = int32(len(cs.Lambda))
+			cs.Lambda = append(cs.Lambda, append([]int32(nil), c...))
+		}
+	})
+	sub := make([]int32, h-1)
+	l.ForEach(h, func(c []int32) {
+		for _, v := range c {
+			cs.Deg[v]++
+		}
+		for i := range c {
+			// sub = c without c[i].
+			sub = sub[:0]
+			for j, u := range c {
+				if j != i {
+					sub = append(sub, u)
+				}
+			}
+			j, ok := index[clique.MakeKey(sub)]
+			if !ok {
+				// Cannot happen: every (h−1)-subset of an h-clique is an
+				// (h−1)-clique and was enumerated above.
+				panic("flownet: missing (h-1)-clique")
+			}
+			cs.LinkV = append(cs.LinkV, c[i])
+			cs.LinkL = append(cs.LinkL, j)
+		}
+	})
+	return cs
+}
+
+// NumNodes returns the node count of the network this side produces
+// (2 + n + |Λ|), the quantity plotted in Figure 9.
+func (cs *CliqueSide) NumNodes(n int) int { return 2 + n + len(cs.Lambda) }
+
+// BuildCDS builds the Algorithm-1 network for h-clique density (h ≥ 3) on
+// the graph cs was computed from: s→v with capacity deg(v,Ψ), v→t with
+// capacity α·h, ψ→u with capacity +∞ for every member u of (h−1)-clique
+// ψ, and v→ψ with capacity 1 whenever ψ∪{v} is an h-clique.
+func BuildCDS(n int, cs *CliqueSide, alpha float64) *Net {
+	f := flow.NewNetwork(2 + n + len(cs.Lambda))
+	lambdaNode := func(j int32) int { return 2 + n + int(j) }
+	for v := 0; v < n; v++ {
+		f.AddEdge(Source, VertexNode(v), float64(cs.Deg[v]))
+		f.AddEdge(VertexNode(v), Sink, alpha*float64(cs.H))
+	}
+	for j, psi := range cs.Lambda {
+		for _, u := range psi {
+			f.AddEdge(lambdaNode(int32(j)), VertexNode(int(u)), flow.Inf)
+		}
+	}
+	for k := range cs.LinkV {
+		f.AddEdge(VertexNode(int(cs.LinkV[k])), lambdaNode(cs.LinkL[k]), 1)
+	}
+	return &Net{Network: f, NVertices: n}
+}
+
+// PatternSide is the precomputed instance structure for PDS networks:
+// the pattern instances of the graph, optionally grouped by vertex set
+// (construct+, Algorithm 7).
+type PatternSide struct {
+	P int // |VΨ|
+	// Deg[v] = deg(v,Ψ).
+	Deg []int64
+	// Groups[j] holds the distinct vertices of group j; Count[j] is the
+	// number of instances sharing that vertex set (1 per instance when
+	// grouping is disabled).
+	Groups [][]int32
+	Count  []int64
+}
+
+// NewPatternSide enumerates the instances of o in g. When grouped is true,
+// instances sharing a vertex set collapse into one node (construct+);
+// otherwise each instance is its own node (PExact, Algorithm 8).
+func NewPatternSide(g *graph.Graph, o motif.Oracle, grouped bool) *PatternSide {
+	ps := &PatternSide{P: o.Size(), Deg: make([]int64, g.N())}
+	if grouped {
+		index := make(map[clique.Key]int32)
+		motif.ForEachInstance(g, o, func(vs []int32) {
+			for _, v := range vs {
+				ps.Deg[v]++
+			}
+			k := clique.MakeKey(vs)
+			if j, ok := index[k]; ok {
+				ps.Count[j]++
+				return
+			}
+			index[k] = int32(len(ps.Groups))
+			ps.Groups = append(ps.Groups, append([]int32(nil), vs...))
+			ps.Count = append(ps.Count, 1)
+		})
+		return ps
+	}
+	motif.ForEachInstance(g, o, func(vs []int32) {
+		for _, v := range vs {
+			ps.Deg[v]++
+		}
+		ps.Groups = append(ps.Groups, append([]int32(nil), vs...))
+		ps.Count = append(ps.Count, 1)
+	})
+	return ps
+}
+
+// NumNodes returns 2 + n + |Λ′|.
+func (ps *PatternSide) NumNodes(n int) int { return 2 + n + len(ps.Groups) }
+
+// BuildPDS builds the PDS network on the graph ps was computed from.
+// For each vertex: s→v with capacity deg(v,Ψ) and v→t with capacity
+// α·|VΨ|. For each group g of |g| instances over a shared vertex set:
+// v→g with capacity |g| and g→v with capacity |g|·(|VΨ|−1) — with |g|=1
+// this is exactly Algorithm 8's per-instance construction.
+func BuildPDS(n int, ps *PatternSide, alpha float64) *Net {
+	f := flow.NewNetwork(2 + n + len(ps.Groups))
+	groupNode := func(j int) int { return 2 + n + j }
+	for v := 0; v < n; v++ {
+		f.AddEdge(Source, VertexNode(v), float64(ps.Deg[v]))
+		f.AddEdge(VertexNode(v), Sink, alpha*float64(ps.P))
+	}
+	for j, vs := range ps.Groups {
+		c := float64(ps.Count[j])
+		for _, v := range vs {
+			f.AddEdge(VertexNode(int(v)), groupNode(j), c)
+			f.AddEdge(groupNode(j), VertexNode(int(v)), c*float64(ps.P-1))
+		}
+	}
+	return &Net{Network: f, NVertices: n}
+}

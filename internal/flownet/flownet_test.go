@@ -1,0 +1,194 @@
+package flownet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/pattern"
+	"repro/internal/rational"
+	"repro/internal/testutil"
+)
+
+// densestVia solves the binary-search densest subgraph problem with the
+// given network builder, for cross-checking the decision procedure.
+func maxDensity(g *graph.Graph, o motif.Oracle) rational.R {
+	d, _ := testutil.BruteForceDensest(g, func(sub *graph.Graph) int64 {
+		return motif.Count(o, sub)
+	})
+	return d
+}
+
+// decision reports whether the network for guess alpha finds a non-empty
+// source side.
+type builder func(alpha float64) *Net
+
+func checkDecision(t *testing.T, name string, g *graph.Graph, o motif.Oracle, build builder, seed int64) bool {
+	t.Helper()
+	opt := maxDensity(g, o)
+	// Probe below the optimum: must find a witness; the witness itself
+	// must have density ≥ alpha.
+	probes := []float64{opt.Float() - 0.1, opt.Float() / 2, opt.Float() + 0.1, opt.Float() + 1}
+	for i, alpha := range probes {
+		if alpha < 0 {
+			continue
+		}
+		vs := build(alpha).SolveVertices()
+		wantFound := alpha < opt.Float()
+		if wantFound && len(vs) == 0 {
+			t.Logf("seed %d %s: alpha=%f below opt=%v but no witness", seed, name, alpha, opt)
+			return false
+		}
+		if !wantFound && len(vs) > 0 {
+			// A witness at alpha ≥ opt must still have density ≥ alpha −
+			// only possible when alpha == opt exactly; for alpha > opt it
+			// is a failure.
+			sub := g.Induced(vs)
+			mu := motif.Count(o, sub.Graph)
+			den := rational.New(mu, int64(len(vs)))
+			if den.Float() < alpha-1e-6 {
+				t.Logf("seed %d %s probe %d: witness density %v below alpha %f", seed, name, i, den, alpha)
+				return false
+			}
+		}
+		if len(vs) > 0 {
+			sub := g.Induced(vs)
+			mu := motif.Count(o, sub.Graph)
+			den := rational.New(mu, int64(len(vs)))
+			if den.Float() < alpha-1e-6 {
+				t.Logf("seed %d %s: witness density %v < alpha %f", seed, name, den, alpha)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEDSDecision(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.GNM(10, 20, seed)
+		if g.M() == 0 {
+			return true
+		}
+		o := motif.Clique{H: 2}
+		return checkDecision(t, "EDS", g, o, func(a float64) *Net { return BuildEDS(g, a) }, seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDSDecision(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.GNM(10, 24, seed)
+		for _, h := range []int{3, 4} {
+			o := motif.Clique{H: h}
+			if motif.Count(o, g) == 0 {
+				continue
+			}
+			cs := NewCliqueSide(g, h)
+			ok := checkDecision(t, "CDS", g, o, func(a float64) *Net { return BuildCDS(g.N(), cs, a) }, seed)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDSDecisionGroupedAndUngrouped(t *testing.T) {
+	pats := []*pattern.Pattern{pattern.Star(2), pattern.Diamond(), pattern.CStar(), pattern.Book(2)}
+	f := func(seed int64) bool {
+		g := gen.GNM(9, 20, seed)
+		for _, p := range pats {
+			o := motif.For(p)
+			if motif.Count(o, g) == 0 {
+				continue
+			}
+			for _, grouped := range []bool{false, true} {
+				ps := NewPatternSide(g, o, grouped)
+				ok := checkDecision(t, p.Name(), g, o,
+					func(a float64) *Net { return BuildPDS(g.N(), ps, a) }, seed)
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupedMinCutMatchesUngrouped is Lemma 11: construct+ preserves the
+// min-cut decision for every alpha.
+func TestGroupedMinCutMatchesUngrouped(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.GNM(9, 20, seed)
+		p := pattern.Diamond()
+		o := motif.For(p)
+		grouped := NewPatternSide(g, o, true)
+		plain := NewPatternSide(g, o, false)
+		for _, alpha := range []float64{0.1, 0.5, 1, 1.5, 2.5} {
+			a := BuildPDS(g.N(), grouped, alpha).SolveVertices()
+			b := BuildPDS(g.N(), plain, alpha).SolveVertices()
+			if (len(a) == 0) != (len(b) == 0) {
+				t.Logf("seed %d alpha %f: grouped found=%v plain found=%v", seed, alpha, len(a) > 0, len(b) > 0)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupingCollapsesSharedVertexSets(t *testing.T) {
+	// Square + K4: the K4 carries three 4-cycles on one vertex set → one
+	// group of size 3 plus one group of size 1 (Figure 6's structure).
+	g := graph.FromEdges(8, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0},
+		{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7},
+	})
+	ps := NewPatternSide(g, motif.Diamond{}, true)
+	if len(ps.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(ps.Groups))
+	}
+	counts := []int64{ps.Count[0], ps.Count[1]}
+	if !(counts[0] == 1 && counts[1] == 3 || counts[0] == 3 && counts[1] == 1) {
+		t.Fatalf("group sizes = %v, want {1,3}", counts)
+	}
+	plain := NewPatternSide(g, motif.Diamond{}, false)
+	if len(plain.Groups) != 4 {
+		t.Fatalf("ungrouped nodes = %d, want 4", len(plain.Groups))
+	}
+}
+
+func TestCliqueSideDegreesMatchOracle(t *testing.T) {
+	g := gen.GNM(12, 30, 3)
+	for _, h := range []int{3, 4} {
+		cs := NewCliqueSide(g, h)
+		_, deg := motif.Clique{H: h}.CountAndDegrees(g)
+		for v := range deg {
+			if cs.Deg[v] != deg[v] {
+				t.Fatalf("h=%d: side deg[%d]=%d oracle %d", h, v, cs.Deg[v], deg[v])
+			}
+		}
+	}
+}
+
+func TestNumNodesAccounting(t *testing.T) {
+	g := gen.GNM(12, 30, 4)
+	cs := NewCliqueSide(g, 3)
+	// 2 + n + #edges (Λ for triangles is the edge set).
+	if got, want := cs.NumNodes(g.N()), 2+g.N()+g.M(); got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+}

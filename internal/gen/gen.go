@@ -1,0 +1,280 @@
+// Package gen provides seeded synthetic graph generators: the three
+// GTgraph families the paper evaluates (ER, R-MAT, SSCA), a Chung–Lu
+// power-law generator used to build stand-ins for the paper's real
+// datasets, and two structured generators for the case studies
+// (collaboration networks and planted-module PPI networks). All generators
+// are deterministic in their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ER samples an Erdős–Rényi G(n,p) graph. The paper's ER dataset uses
+// p = 0.0005 at n = 100000.
+func ER(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	if p <= 0 {
+		return b.Build()
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		return b.Build()
+	}
+	// Geometric skipping: sample the gap to the next present edge, so the
+	// cost is proportional to the number of edges, not n².
+	logq := math.Log(1 - p)
+	var i int64
+	total := int64(n) * int64(n-1) / 2
+	for {
+		gap := int64(math.Log(1-rng.Float64())/logq) + 1
+		i += gap
+		if i > total {
+			break
+		}
+		u, v := edgeFromIndex(i-1, n)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// edgeFromIndex maps a linear index in [0, n(n-1)/2) to the pair (u,v)
+// with u < v in lexicographic order.
+func edgeFromIndex(idx int64, n int) (int, int) {
+	u := 0
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + int(idx)
+}
+
+// GNM samples a uniform graph with n vertices and (approximately, after
+// dedup) m edges.
+func GNM(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// RMAT samples a recursive-matrix power-law graph with the standard
+// partition probabilities (a,b,c,d). The paper's R-MAT dataset uses the
+// GTgraph defaults a=0.45, b=0.15, c=0.15, d=0.25 at n=100000.
+func RMAT(n, m int, a, b, c, d float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	scale := 0
+	for (1 << scale) < n {
+		scale++
+	}
+	bld := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for s := 0; s < scale; s++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: nothing to add
+			case r < a+b:
+				v |= 1 << s
+			case r < a+b+c:
+				u |= 1 << s
+			default:
+				u |= 1 << s
+				v |= 1 << s
+			}
+		}
+		if u < n && v < n {
+			bld.AddEdge(u, v)
+		}
+	}
+	return bld.Build()
+}
+
+// RMATDefault runs RMAT with the GTgraph default partition.
+func RMATDefault(n, m int, seed int64) *graph.Graph {
+	return RMAT(n, m, 0.45, 0.15, 0.15, 0.25, seed)
+}
+
+// SSCA generates an SSCA#2-style graph: a union of random-sized cliques
+// over a vertex universe, which yields very dense local structure (the
+// GTgraph SSCA generator). maxClique is the maximum clique size.
+func SSCA(n, maxClique int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	assigned := 0
+	for assigned < n {
+		size := 1 + rng.Intn(maxClique)
+		if assigned+size > n {
+			size = n - assigned
+		}
+		for i := assigned; i < assigned+size; i++ {
+			for j := i + 1; j < assigned+size; j++ {
+				b.AddEdge(i, j)
+			}
+		}
+		assigned += size
+	}
+	// Inter-clique links: a sparse random matching so the graph is not a
+	// disjoint clique union (mirrors GTgraph's inter-clique edges).
+	links := n / 4
+	for i := 0; i < links; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+// ChungLu samples a power-law graph with expected degree sequence
+// w_i ∝ (i+1)^(−1/(α−1)) scaled so the expected edge count is m. It is the
+// stand-in family for the paper's real datasets (Table 2 records each
+// dataset's n, m and power-law α).
+func ChungLu(n, m int, alpha float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	if alpha <= 1.5 {
+		alpha = 1.5
+	}
+	w := make([]float64, n)
+	var sum float64
+	exp := -1.0 / (alpha - 1)
+	for i := 0; i < n; i++ {
+		w[i] = math.Pow(float64(i+1), exp)
+		sum += w[i]
+	}
+	// Normalize so Σw = 2m (expected degrees).
+	for i := range w {
+		w[i] *= 2 * float64(m) / sum
+	}
+	// Cap weights at sqrt(2m) to keep edge probabilities ≤ 1.
+	capw := math.Sqrt(2 * float64(m))
+	for i := range w {
+		if w[i] > capw {
+			w[i] = capw
+		}
+	}
+	// Weighted sampling of endpoints by the alias-free inversion method:
+	// draw endpoints proportional to w via cumulative table.
+	cum := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + w[i]
+	}
+	total := cum[n]
+	draw := func() int {
+		x := rng.Float64() * total
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(draw(), draw())
+	}
+	return b.Build()
+}
+
+// Collaboration generates a DBLP-style co-authorship network: papers are
+// cliques of 2..maxAuthors authors; author popularity is Zipf-skewed so a
+// few "senior" authors join many papers. This reproduces the structure
+// behind the paper's Figure 17 case study (triangle-PDS = tight group,
+// 2-star-PDS = hubs with spokes).
+func Collaboration(authors, papers, maxAuthors int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.4, 1.0, uint64(authors-1))
+	b := graph.NewBuilder(authors)
+	team := make([]int, 0, maxAuthors)
+	for p := 0; p < papers; p++ {
+		size := 2 + rng.Intn(maxAuthors-1)
+		team = team[:0]
+		for len(team) < size {
+			a := int(zipf.Uint64())
+			dup := false
+			for _, t := range team {
+				if t == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				team = append(team, a)
+			}
+		}
+		for i := range team {
+			for j := i + 1; j < len(team); j++ {
+				b.AddEdge(team[i], team[j])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PlantedPPI generates a yeast-style protein interaction network: a sparse
+// power-law background plus dense functional modules of different shapes —
+// one near-clique module, one hub-spoke module, one cycle-rich module — so
+// different patterns select different densest subgraphs (Figure 21).
+// It returns the graph and the module vertex sets in that order.
+func PlantedPPI(n, m int, seed int64) (*graph.Graph, [][]int32) {
+	rng := rand.New(rand.NewSource(seed))
+	base := ChungLu(n, m, 2.9, seed+1)
+	b := graph.NewBuilder(n)
+	base.Edges(func(u, v int) { b.AddEdge(u, v) })
+	var modules [][]int32
+	next := 0
+	pick := func(k int) []int32 {
+		vs := make([]int32, k)
+		for i := range vs {
+			vs[i] = int32(next)
+			next++
+		}
+		return vs
+	}
+	// Near-clique module (4-clique dense).
+	cl := pick(9)
+	for i := range cl {
+		for j := i + 1; j < len(cl); j++ {
+			if rng.Float64() < 0.9 {
+				b.AddEdge(int(cl[i]), int(cl[j]))
+			}
+		}
+	}
+	modules = append(modules, cl)
+	// Hub module: two hubs sharing many spokes (2-star / c3-star dense).
+	hub := pick(14)
+	for i := 2; i < len(hub); i++ {
+		b.AddEdge(int(hub[0]), int(hub[i]))
+		b.AddEdge(int(hub[1]), int(hub[i]))
+	}
+	b.AddEdge(int(hub[0]), int(hub[1]))
+	modules = append(modules, hub)
+	// Cycle-rich module: a dense bipartite block (diamond/4-cycle dense,
+	// clique-free): K_{6,12} at 90% fill.
+	cyc := pick(18)
+	for i := 0; i < 6; i++ {
+		for j := 6; j < len(cyc); j++ {
+			if rng.Float64() < 0.9 {
+				b.AddEdge(int(cyc[i]), int(cyc[j]))
+			}
+		}
+	}
+	modules = append(modules, cyc)
+	return b.Build(), modules
+}

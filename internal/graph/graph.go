@@ -1,0 +1,312 @@
+// Package graph provides the undirected, unweighted, simple graph
+// representation used by every algorithm in this repository, together with
+// builders, induced subgraphs, traversal helpers, and edge-list I/O.
+//
+// Vertices are dense integers 0..N-1. Adjacency lists are sorted, which
+// makes edge queries O(log d) and set intersections (used heavily by the
+// clique and pattern enumerators) linear.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph. The zero value is the
+// empty graph. Construct non-empty graphs with a Builder or FromEdges.
+type Graph struct {
+	adj [][]int32 // adj[v] = sorted neighbor ids
+	m   int       // number of undirected edges
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// MaxDegree returns the maximum vertex degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	// Search the shorter list.
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		v = u
+	}
+	t := int32(v)
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= t })
+	return i < len(a) && a[i] == t
+}
+
+// Edges calls fn for every undirected edge with u < v.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are dropped, so inputs need not be clean.
+type Builder struct {
+	n   int
+	src []int32
+	dst []int32
+}
+
+// NewBuilder returns a Builder for a graph with n vertices. Edges may
+// reference vertices beyond n; the vertex count grows automatically.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 {
+		return
+	}
+	if u >= b.n {
+		b.n = u + 1
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	b.src = append(b.src, int32(u))
+	b.dst = append(b.dst, int32(v))
+}
+
+// Build materializes the graph, sorting adjacency lists and removing
+// duplicate edges.
+func (b *Builder) Build() *Graph {
+	deg := make([]int32, b.n)
+	for i := range b.src {
+		deg[b.src[i]]++
+		deg[b.dst[i]]++
+	}
+	adj := make([][]int32, b.n)
+	for v := range adj {
+		adj[v] = make([]int32, 0, deg[v])
+	}
+	for i := range b.src {
+		u, v := b.src[i], b.dst[i]
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	m := 0
+	for v := range adj {
+		l := adj[v]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		// Dedupe in place.
+		k := 0
+		for i := range l {
+			if i == 0 || l[i] != l[i-1] {
+				l[k] = l[i]
+				k++
+			}
+		}
+		adj[v] = l[:k]
+		m += k
+	}
+	return &Graph{adj: adj, m: m / 2}
+}
+
+// FromEdges builds a graph with n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int32, len(g.adj))
+	for v := range g.adj {
+		adj[v] = append([]int32(nil), g.adj[v]...)
+	}
+	return &Graph{adj: adj, m: g.m}
+}
+
+// Subgraph is an induced subgraph together with the mapping back to the
+// vertices of the graph it was extracted from.
+type Subgraph struct {
+	*Graph
+	// Orig[i] is the vertex id in the parent graph of local vertex i.
+	Orig []int32
+}
+
+// Induced returns the subgraph induced by the given vertex set. The vertex
+// set may be in any order and may contain duplicates (ignored). Local
+// vertices are numbered in the sorted order of their original ids.
+func (g *Graph) Induced(vs []int32) *Subgraph {
+	orig := append([]int32(nil), vs...)
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	k := 0
+	for i := range orig {
+		if i == 0 || orig[i] != orig[i-1] {
+			orig[k] = orig[i]
+			k++
+		}
+	}
+	orig = orig[:k]
+	local := make(map[int32]int32, len(orig))
+	for i, v := range orig {
+		local[v] = int32(i)
+	}
+	adj := make([][]int32, len(orig))
+	m := 0
+	for i, v := range orig {
+		for _, w := range g.adj[v] {
+			if lw, ok := local[w]; ok {
+				adj[i] = append(adj[i], lw)
+			}
+		}
+		m += len(adj[i])
+		// Parent adjacency was sorted by original id, and local ids are
+		// assigned in sorted original order, so adj[i] is already sorted.
+	}
+	return &Subgraph{Graph: &Graph{adj: adj, m: m / 2}, Orig: orig}
+}
+
+// InducedKeep returns the subgraph induced by the vertices for which keep
+// returns true.
+func (g *Graph) InducedKeep(keep func(v int) bool) *Subgraph {
+	var vs []int32
+	for v := 0; v < g.N(); v++ {
+		if keep(v) {
+			vs = append(vs, int32(v))
+		}
+	}
+	return g.Induced(vs)
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// largest first.
+func (g *Graph) ConnectedComponents() [][]int32 {
+	seen := make([]bool, g.N())
+	var comps [][]int32
+	queue := make([]int32, 0, 64)
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], int32(s))
+		comp := []int32{int32(s)}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+					queue = append(queue, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// BFSFarthest runs a breadth-first search from src and returns the farthest
+// vertex reached and its distance (the eccentricity of src within its
+// component).
+func (g *Graph) BFSFarthest(src int) (far int, dist int) {
+	distv := make([]int32, g.N())
+	for i := range distv {
+		distv[i] = -1
+	}
+	distv[src] = 0
+	queue := []int32{int32(src)}
+	far, dist = src, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if distv[w] < 0 {
+				distv[w] = distv[v] + 1
+				if int(distv[w]) > dist {
+					dist = int(distv[w])
+					far = int(w)
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return far, dist
+}
+
+// Validate checks internal invariants (sorted deduped adjacency, symmetric
+// edges, no self-loops, consistent edge count). It is used by tests and
+// returns a descriptive error on the first violation found.
+func (g *Graph) Validate() error {
+	total := 0
+	for v := range g.adj {
+		l := g.adj[v]
+		for i := range l {
+			w := int(l[i])
+			if w == v {
+				return fmt.Errorf("self-loop at vertex %d", v)
+			}
+			if w < 0 || w >= g.N() {
+				return fmt.Errorf("vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if i > 0 && l[i] <= l[i-1] {
+				return fmt.Errorf("adjacency of %d not sorted/deduped at index %d", v, i)
+			}
+			if !g.HasEdge(w, v) {
+				return fmt.Errorf("edge %d->%d not symmetric", v, w)
+			}
+		}
+		total += len(l)
+	}
+	if total != 2*g.m {
+		return fmt.Errorf("edge count mismatch: adjacency total %d, 2m=%d", total, 2*g.m)
+	}
+	return nil
+}
+
+// IntersectSorted writes the intersection of sorted slices a and b into out
+// (which may be nil) and returns it. It is the workhorse of the clique
+// enumerator.
+func IntersectSorted(a, b, out []int32) []int32 {
+	out = out[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestBuilderDedupesAndDropsSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 2)
+	g := b.Build()
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("self-loop survived: deg(2)=%d", g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderGrowsVertexCount(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(5, 9)
+	g := b.Build()
+	if g.N() != 10 {
+		t.Fatalf("N = %d, want 10", g.N())
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, false}, {2, 3, true}, {0, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEdgesVisitsEachOnce(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	var got [][2]int
+	g.Edges(func(u, v int) { got = append(got, [2]int{u, v}) })
+	want := [][2]int{{0, 1}, {0, 3}, {1, 2}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}})
+	sub := g.Induced([]int32{1, 3, 2})
+	if sub.N() != 3 {
+		t.Fatalf("N = %d, want 3", sub.N())
+	}
+	// Local ids are sorted original ids: 1→0, 2→1, 3→2.
+	if !reflect.DeepEqual(sub.Orig, []int32{1, 2, 3}) {
+		t.Fatalf("Orig = %v", sub.Orig)
+	}
+	if sub.M() != 3 { // edges 1-2, 2-3, 1-3
+		t.Fatalf("M = %d, want 3", sub.M())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedDedupesInput(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	sub := g.Induced([]int32{1, 1, 0, 1})
+	if sub.N() != 2 || sub.M() != 1 {
+		t.Fatalf("got n=%d m=%d, want 2,1", sub.N(), sub.M())
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	if len(comps[0]) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(comps[0]))
+	}
+}
+
+func TestBFSFarthest(t *testing.T) {
+	g := path(5)
+	far, dist := g.BFSFarthest(0)
+	if far != 4 || dist != 4 {
+		t.Fatalf("got (%d,%d), want (4,4)", far, dist)
+	}
+}
+
+func TestComputeStatsPath(t *testing.T) {
+	g := path(6)
+	s := g.ComputeStats()
+	if s.Diameter != 5 {
+		t.Fatalf("diameter = %d, want 5", s.Diameter)
+	}
+	if s.Components != 1 {
+		t.Fatalf("components = %d, want 1", s.Components)
+	}
+	if s.MaxDegree != 2 {
+		t.Fatalf("max degree = %d, want 2", s.MaxDegree)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4}})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	g.Edges(func(u, v int) {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge %d-%d lost in round trip", u, v)
+		}
+	})
+}
+
+func TestFromEdgeListComments(t *testing.T) {
+	in := "# comment\n% also comment\n0 1\n\n1 2\n"
+	g, err := FromEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+}
+
+func TestFromEdgeListErrors(t *testing.T) {
+	cases := []string{"0\n", "a b\n", "0 x\n", "-1 2\n"}
+	for _, in := range cases {
+		if _, err := FromEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error, got nil", in)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	g.adj[0] = append(g.adj[0], 2) // asymmetric edge
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric adjacency")
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	a := []int32{1, 3, 5, 7, 9}
+	b := []int32{2, 3, 5, 8, 9, 10}
+	got := IntersectSorted(a, b, nil)
+	want := []int32{3, 5, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if out := IntersectSorted(nil, b, nil); len(out) != 0 {
+		t.Fatalf("nil ∩ b = %v, want empty", out)
+	}
+}
+
+// Property: building from random edge lists always yields a valid graph,
+// and rebuilding from its own edge list is the identity.
+func TestBuildProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < 40; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Logf("invalid graph: %v", err)
+			return false
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		g2, err := FromEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return g2.M() == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawAlphaOnStar(t *testing.T) {
+	// A star has one huge degree and many 1s; α should be finite and > 1.
+	b := NewBuilder(50)
+	for i := 1; i < 50; i++ {
+		b.AddEdge(0, i)
+	}
+	a := b.Build().PowerLawAlpha()
+	if a <= 1 || a > 20 {
+		t.Fatalf("alpha = %f out of plausible range", a)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	c := g.Clone()
+	c.adj[0][0] = 2
+	if g.adj[0][0] != 1 {
+		t.Fatal("Clone shares adjacency storage")
+	}
+}

@@ -1,0 +1,92 @@
+package graph
+
+import "math"
+
+// Stats summarizes structural properties of a graph, mirroring the columns
+// of the paper's dataset table (Table 2 / Figure 18).
+type Stats struct {
+	N          int     // vertices
+	M          int     // edges
+	Components int     // number of connected components
+	Diameter   int     // max over components (exact for small graphs, double-sweep lower bound otherwise)
+	MaxDegree  int     // maximum degree
+	PowerLawA  float64 // MLE decay exponent of the degree distribution
+}
+
+// exactDiameterLimit bounds the component size for which the diameter is
+// computed exactly (all-sources BFS); larger components use a double-sweep
+// lower bound, which is exact on trees and a good estimate in practice.
+const exactDiameterLimit = 2000
+
+// ComputeStats derives the structural summary of g.
+func (g *Graph) ComputeStats() Stats {
+	comps := g.ConnectedComponents()
+	diam := 0
+	for _, comp := range comps {
+		if len(comp) < 2 {
+			continue
+		}
+		sub := g.Induced(comp)
+		var d int
+		if len(comp) <= exactDiameterLimit {
+			d = sub.exactDiameter()
+		} else {
+			d = sub.doubleSweepDiameter()
+		}
+		if d > diam {
+			diam = d
+		}
+	}
+	return Stats{
+		N:          g.N(),
+		M:          g.M(),
+		Components: len(comps),
+		Diameter:   diam,
+		MaxDegree:  g.MaxDegree(),
+		PowerLawA:  g.PowerLawAlpha(),
+	}
+}
+
+func (g *Graph) exactDiameter() int {
+	d := 0
+	for v := 0; v < g.N(); v++ {
+		if _, ecc := g.BFSFarthest(v); ecc > d {
+			d = ecc
+		}
+	}
+	return d
+}
+
+func (g *Graph) doubleSweepDiameter() int {
+	far, _ := g.BFSFarthest(0)
+	best := 0
+	// A few alternating sweeps from successive far vertices tighten the bound.
+	for i := 0; i < 4; i++ {
+		next, d := g.BFSFarthest(far)
+		if d > best {
+			best = d
+		}
+		far = next
+	}
+	return best
+}
+
+// PowerLawAlpha estimates the decay exponent α of the degree distribution
+// f(x) ∝ x^(−α) using the continuous maximum-likelihood estimator
+// α = 1 + n / Σ ln(d_i / (dmin − 1/2)) over vertices with degree ≥ dmin,
+// with dmin = 1. Returns 0 for graphs without positive-degree vertices.
+func (g *Graph) PowerLawAlpha() float64 {
+	sum := 0.0
+	cnt := 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d >= 1 {
+			sum += math.Log(float64(d) / 0.5)
+			cnt++
+		}
+	}
+	if cnt == 0 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(cnt)/sum
+}

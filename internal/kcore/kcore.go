@@ -1,0 +1,78 @@
+// Package kcore implements classical (edge-based) k-core decomposition
+// (Seidman; Batagelj & Zaversnik) and the degeneracy ordering derived from
+// it. Both are substrates for the paper's algorithms: the degeneracy order
+// drives the k-clique enumerator, and classical core numbers supply the
+// γ(v,Ψ) upper bounds used by CoreApp.
+package kcore
+
+import (
+	"repro/internal/bucketq"
+	"repro/internal/graph"
+)
+
+// Decomposition holds the result of a classical core decomposition.
+type Decomposition struct {
+	// Core[v] is the core number of vertex v.
+	Core []int32
+	// Order lists the vertices in peel order (non-decreasing core number);
+	// its reverse is a degeneracy ordering.
+	Order []int32
+	// Pos[v] is the index of v in Order.
+	Pos []int32
+	// KMax is the maximum core number (the degeneracy of the graph).
+	KMax int32
+}
+
+// Decompose computes core numbers for every vertex in O(n+m).
+func Decompose(g *graph.Graph) *Decomposition {
+	n := g.N()
+	keys := make([]int64, n)
+	for v := 0; v < n; v++ {
+		keys[v] = int64(g.Degree(v))
+	}
+	q := bucketq.New(keys)
+	d := &Decomposition{
+		Core:  make([]int32, n),
+		Order: make([]int32, 0, n),
+		Pos:   make([]int32, n),
+	}
+	cur := int64(0)
+	for {
+		v, k, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		if k > cur {
+			cur = k
+		}
+		d.Core[v] = int32(cur)
+		if int32(cur) > d.KMax {
+			d.KMax = int32(cur)
+		}
+		d.Pos[v] = int32(len(d.Order))
+		d.Order = append(d.Order, int32(v))
+		for _, w := range g.Neighbors(v) {
+			q.DecreaseTo(int(w), q.Key(int(w))-1, cur)
+		}
+	}
+	return d
+}
+
+// CoreSubgraph returns the k-core of g: the subgraph induced by vertices
+// with core number ≥ k. The result may be empty.
+func CoreSubgraph(g *graph.Graph, d *Decomposition, k int32) *graph.Subgraph {
+	return g.InducedKeep(func(v int) bool { return d.Core[v] >= k })
+}
+
+// KMaxCore returns the kmax-core of g along with kmax.
+func KMaxCore(g *graph.Graph) (*graph.Subgraph, int32) {
+	d := Decompose(g)
+	return CoreSubgraph(g, d, d.KMax), d.KMax
+}
+
+// DegeneracyOrder returns vertices in degeneracy order: each vertex has at
+// most KMax neighbors appearing later in the order. Rank[v] gives the
+// position of v.
+func (d *Decomposition) DegeneracyOrder() (order []int32, rank []int32) {
+	return d.Order, d.Pos
+}

@@ -1,0 +1,58 @@
+package motif
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pattern"
+)
+
+func TestCountWithin(t *testing.T) {
+	g := gen.GNM(30, 150, 3)
+	oracles := []Oracle{
+		Clique{H: 2}, Clique{H: 3}, Clique{H: 4},
+		Star{X: 2}, Diamond{},
+		Generic{P: pattern.CStar()},
+		Generic{P: pattern.Basket()},
+	}
+	for _, o := range oracles {
+		want := Count(o, g)
+		// Generous budget: exact count, within = true.
+		got, ok := CountWithin(o, g, want+10)
+		if !ok || got != want {
+			t.Fatalf("%s: CountWithin(big) = (%d,%v), want (%d,true)", o.Name(), got, ok, want)
+		}
+		if want > 1 {
+			// Tight budget: must report not-within without enumerating
+			// everything (count may be a partial value > budget).
+			got, ok = CountWithin(o, g, want/2)
+			if ok {
+				t.Fatalf("%s: budget %d not exceeded for true count %d", o.Name(), want/2, want)
+			}
+			if got > want {
+				t.Fatalf("%s: partial count %d exceeds true count %d", o.Name(), got, want)
+			}
+		}
+		// Budget equal to count: within.
+		got, ok = CountWithin(o, g, want)
+		if !ok || got != want {
+			t.Fatalf("%s: CountWithin(exact) = (%d,%v)", o.Name(), got, ok)
+		}
+	}
+}
+
+func TestCountInstancesUpTo(t *testing.T) {
+	g := gen.GNM(20, 80, 5)
+	p := pattern.Star(2)
+	want := p.CountInstances(g, nil)
+	got, ok := p.CountInstancesUpTo(g, nil, want)
+	if !ok || got != want {
+		t.Fatalf("CountInstancesUpTo(full) = (%d,%v), want (%d,true)", got, ok, want)
+	}
+	if want > 2 {
+		_, ok = p.CountInstancesUpTo(g, nil, 1)
+		if ok {
+			t.Fatal("budget 1 not exceeded")
+		}
+	}
+}

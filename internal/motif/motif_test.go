@@ -1,0 +1,188 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func TestForPicksSpecializedOracles(t *testing.T) {
+	cases := []struct {
+		p    *pattern.Pattern
+		want string
+	}{
+		{pattern.Edge(), "edge"},
+		{pattern.KClique(4), "4-clique"},
+		{pattern.Star(3), "3-star"},
+		{pattern.Diamond(), "diamond"},
+		{pattern.CStar(), "c3-star"},
+	}
+	for _, c := range cases {
+		o := For(c.p)
+		if o.Name() != c.want {
+			t.Errorf("For(%s).Name() = %q, want %q", c.p.Name(), o.Name(), c.want)
+		}
+		if o.Size() != c.p.Size() {
+			t.Errorf("For(%s).Size() = %d, want %d", c.p.Name(), o.Size(), c.p.Size())
+		}
+	}
+	if _, ok := For(pattern.Star(2)).(Star); !ok {
+		t.Error("2-star not using the fast star oracle")
+	}
+	if _, ok := For(pattern.Diamond()).(Diamond); !ok {
+		t.Error("diamond not using the fast loop oracle")
+	}
+	if _, ok := For(pattern.CStar()).(Generic); !ok {
+		t.Error("c3-star should fall back to the generic oracle")
+	}
+}
+
+// TestFastOraclesMatchGeneric validates the Appendix-D closed forms for
+// stars and diamonds against the subgraph-isomorphism enumerator.
+func TestFastOraclesMatchGeneric(t *testing.T) {
+	type pairing struct {
+		fast    Oracle
+		generic Oracle
+	}
+	pairs := []pairing{
+		{Star{X: 2}, Generic{P: pattern.Star(2)}},
+		{Star{X: 3}, Generic{P: pattern.Star(3)}},
+		{Star{X: 4}, Generic{P: pattern.Star(4)}},
+		{Diamond{}, Generic{P: pattern.Diamond()}},
+	}
+	f := func(seed int64) bool {
+		g := gen.GNM(12, 28, seed)
+		for _, pr := range pairs {
+			ft, fd := pr.fast.CountAndDegrees(g)
+			gt, gd := pr.generic.CountAndDegrees(g)
+			if ft != gt {
+				t.Logf("seed %d %s: total %d vs generic %d", seed, pr.fast.Name(), ft, gt)
+				return false
+			}
+			for v := range fd {
+				if fd[v] != gd[v] {
+					t.Logf("seed %d %s: deg[%d] %d vs %d", seed, pr.fast.Name(), v, fd[v], gd[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnRemoveConsistency is the central peeling invariant: after removing
+// any vertex, applying OnRemove's decrements to the old degree vector must
+// reproduce CountAndDegrees of the residual graph, and the reported
+// destroyed count must equal the removed vertex's degree.
+func TestOnRemoveConsistency(t *testing.T) {
+	oracles := []Oracle{
+		Clique{H: 2}, Clique{H: 3}, Clique{H: 4},
+		Star{X: 2}, Star{X: 3},
+		Diamond{},
+		Generic{P: pattern.CStar()},
+		Generic{P: pattern.Book(2)},
+		Generic{P: pattern.Basket()},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.GNM(11, 26, seed)
+		if g.N() == 0 {
+			return true
+		}
+		for _, o := range oracles {
+			st := NewState(g)
+			total, deg := o.CountAndDegrees(g)
+			// Remove a random sequence of vertices, checking after each.
+			order := rng.Perm(g.N())
+			for _, v := range order[:g.N()/2+1] {
+				destroyed := o.OnRemove(st, v, func(u int, delta int64) {
+					deg[u] -= delta
+				})
+				st.Remove(v)
+				total -= destroyed
+				if destroyed < 0 {
+					return false
+				}
+				// Recompute from scratch on the residual graph.
+				var aliveVs []int32
+				for u := 0; u < g.N(); u++ {
+					if st.Alive[u] {
+						aliveVs = append(aliveVs, int32(u))
+					}
+				}
+				sub := g.Induced(aliveVs)
+				wantTotal, wantDeg := o.CountAndDegrees(sub.Graph)
+				if total != wantTotal {
+					t.Logf("seed %d %s: after removing %d total=%d want %d", seed, o.Name(), v, total, wantTotal)
+					return false
+				}
+				for lv, w := range wantDeg {
+					u := sub.Orig[lv]
+					if deg[u] != w {
+						t.Logf("seed %d %s: deg[%d]=%d want %d", seed, o.Name(), u, deg[u], w)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateRemove(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	st := NewState(g)
+	if st.NAlive != 3 || st.RDeg[1] != 2 {
+		t.Fatalf("initial state wrong: %+v", st)
+	}
+	st.Remove(0)
+	if st.NAlive != 2 || st.RDeg[1] != 1 {
+		t.Fatalf("after remove: %+v", st)
+	}
+	st.Remove(0) // idempotent
+	if st.NAlive != 2 {
+		t.Fatal("double remove changed state")
+	}
+}
+
+func TestForEachInstanceMatchesCount(t *testing.T) {
+	g := gen.GNM(10, 24, 9)
+	oracles := []Oracle{Clique{H: 3}, Star{X: 2}, Diamond{}, Generic{P: pattern.CStar()}}
+	for _, o := range oracles {
+		var n int64
+		ForEachInstance(g, o, func(vs []int32) {
+			if len(vs) != o.Size() {
+				t.Fatalf("%s: instance size %d, want %d", o.Name(), len(vs), o.Size())
+			}
+			n++
+		})
+		total, _ := o.CountAndDegrees(g)
+		if n != total {
+			t.Fatalf("%s: enumerated %d, counted %d", o.Name(), n, total)
+		}
+	}
+}
+
+func TestCliqueEdgeOracleOnPath(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	total, deg := Clique{H: 2}.CountAndDegrees(g)
+	if total != 3 {
+		t.Fatalf("edges = %d, want 3", total)
+	}
+	want := []int64{1, 2, 2, 1}
+	for v := range want {
+		if deg[v] != want[v] {
+			t.Fatalf("deg = %v, want %v", deg, want)
+		}
+	}
+}

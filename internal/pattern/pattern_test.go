@@ -1,0 +1,218 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+	}{
+		{"too small", 1, nil},
+		{"no edges", 3, nil},
+		{"self loop", 3, [][2]int{{0, 0}, {0, 1}, {1, 2}}},
+		{"out of range", 3, [][2]int{{0, 5}}},
+		{"duplicate", 3, [][2]int{{0, 1}, {1, 0}, {1, 2}}},
+		{"disconnected", 4, [][2]int{{0, 1}, {2, 3}}},
+		{"isolated", 3, [][2]int{{0, 1}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.n, c.edges); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		p    *Pattern
+		want int
+	}{
+		{Edge(), 2},
+		{Triangle(), 6},
+		{KClique(4), 24},
+		{Star(2), 2},   // swap tails
+		{Star(3), 6},   // permute tails
+		{CStar(), 2},   // swap the two non-pendant triangle vertices
+		{Diamond(), 8}, // dihedral group of the 4-cycle
+		{Book(2), 4},   // swap spine × swap pages
+		{Book(3), 12},  // swap spine × permute 3 pages
+		{Basket(), 2},  // reflect the cycle across the pendant's attachment
+	}
+	for _, c := range cases {
+		if got := len(c.p.Automorphisms()); got != c.want {
+			t.Errorf("%s: |Aut| = %d, want %d", c.p.Name(), got, c.want)
+		}
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	if !KClique(4).IsClique() || Star(2).IsClique() {
+		t.Error("IsClique misclassifies")
+	}
+	if c, x, ok := Star(3).IsStar(); !ok || x != 3 || c != 0 {
+		t.Errorf("IsStar(3-star) = (%d,%d,%v)", c, x, ok)
+	}
+	if _, _, ok := Diamond().IsStar(); ok {
+		t.Error("diamond claimed to be a star")
+	}
+	if !Diamond().IsCycle4() {
+		t.Error("diamond not recognized as 4-cycle")
+	}
+	if Book(2).IsCycle4() {
+		t.Error("2-triangle misclassified as 4-cycle")
+	}
+	// Edge is a 2-clique.
+	if !Edge().IsClique() {
+		t.Error("edge not a clique")
+	}
+}
+
+func TestByName(t *testing.T) {
+	names := []string{"edge", "triangle", "4-clique", "2-star", "3-star",
+		"c3-star", "diamond", "2-triangle", "3-triangle", "basket"}
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+			continue
+		}
+		if p.Name() != n {
+			t.Errorf("ByName(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if _, err := ByName("heptagon"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestCountKnownGraphs(t *testing.T) {
+	// Triangle graph: 3 distinct 2-star instances (one per center).
+	tri := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if got := Star(2).CountInstances(tri, nil); got != 3 {
+		t.Errorf("2-stars in triangle = %d, want 3", got)
+	}
+	// K4: 4-cycles = 3 (choose 2 disjoint perfect matchings pairs).
+	k4 := KClique(4)
+	_ = k4
+	g4 := graph.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if got := Diamond().CountInstances(g4, nil); got != 3 {
+		t.Errorf("4-cycles in K4 = %d, want 3", got)
+	}
+	// A plain square plus a disjoint K4, mirroring the grouping structure
+	// of the paper's Figure 6: 1 instance on the square, 3 instances
+	// sharing the K4's vertex set → 4 total.
+	grp := graph.FromEdges(8, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, // square
+		{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7}, // K4
+	})
+	if got := Diamond().CountInstances(grp, nil); got != 4 {
+		t.Errorf("diamonds in square+K4 = %d, want 4", got)
+	}
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	pats := []*Pattern{Edge(), Triangle(), Star(2), Star(3), CStar(), Diamond(), Book(2), Basket()}
+	f := func(seed int64) bool {
+		g := gen.GNM(9, 16, seed)
+		for _, p := range pats {
+			wantCount, wantDeg := testutil.BruteForcePatternInstances(g, p.Size(), p.Edges())
+			if got := p.CountInstances(g, nil); got != wantCount {
+				t.Logf("seed %d %s: count %d want %d", seed, p.Name(), got, wantCount)
+				return false
+			}
+			deg := p.Degrees(g, nil)
+			for v := range wantDeg {
+				if deg[v] != wantDeg[v] {
+					t.Logf("seed %d %s: deg[%d]=%d want %d", seed, p.Name(), v, deg[v], wantDeg[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachInstanceDistinct(t *testing.T) {
+	g := gen.GNM(10, 22, 5)
+	for _, p := range []*Pattern{Star(2), Diamond(), CStar(), Book(2)} {
+		seen := map[string]bool{}
+		p.ForEachInstance(g, nil, func(phi []int32) {
+			// Key by the instance's edge set.
+			key := ""
+			for _, e := range p.Edges() {
+				u, v := phi[e[0]], phi[e[1]]
+				if u > v {
+					u, v = v, u
+				}
+				key += string(rune('A'+u)) + string(rune('A'+v)) + ";"
+			}
+			if seen[key] {
+				t.Fatalf("%s: instance %v reported twice", p.Name(), phi)
+			}
+			seen[key] = true
+			// Embedding must preserve pattern edges.
+			for _, e := range p.Edges() {
+				if !g.HasEdge(int(phi[e[0]]), int(phi[e[1]])) {
+					t.Fatalf("%s: %v is not an embedding", p.Name(), phi)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachInstanceContainingPartition(t *testing.T) {
+	// Summing "instances containing v" over all v must equal
+	// |VΨ| × total instances, and each per-v enumeration must only report
+	// instances that contain v.
+	g := gen.GNM(10, 22, 11)
+	for _, p := range []*Pattern{Star(2), Diamond(), CStar()} {
+		total := p.CountInstances(g, nil)
+		var sum int64
+		for v := 0; v < g.N(); v++ {
+			p.ForEachInstanceContaining(g, v, nil, func(phi []int32) {
+				sum++
+				found := false
+				for _, u := range phi {
+					if int(u) == v {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: instance %v does not contain %d", p.Name(), phi, v)
+				}
+			})
+		}
+		if sum != total*int64(p.Size()) {
+			t.Fatalf("%s: Σ containing = %d, want %d", p.Name(), sum, total*int64(p.Size()))
+		}
+	}
+}
+
+func TestAliveFiltering(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	alive := []bool{true, true, true, false}
+	if got := Diamond().CountInstances(g, alive); got != 0 {
+		t.Fatalf("diamond with dead vertex counted: %d", got)
+	}
+	if got := Star(2).CountInstances(g, alive); got != 1 {
+		t.Fatalf("2-stars among alive = %d, want 1 (0-1-2)", got)
+	}
+}
+
+func TestPatternLargerThanGraph(t *testing.T) {
+	g := graph.FromEdges(2, [][2]int{{0, 1}})
+	if got := Basket().CountInstances(g, nil); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}

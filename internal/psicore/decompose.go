@@ -1,0 +1,105 @@
+// Package psicore implements (k,Ψ)-core decomposition (Algorithm 3 of the
+// paper, generalized to pattern cores per Section 5.4), the top-down
+// CoreApp kmax-core extraction (Algorithm 6), and the two baselines the
+// paper compares against: nucleus-style local decomposition (AND) and an
+// in-memory EMcore adaptation.
+package psicore
+
+import (
+	"repro/internal/bucketq"
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/rational"
+)
+
+// Decomposition is the result of a (k,Ψ)-core decomposition.
+type Decomposition struct {
+	// Core[v] is the clique-core (pattern-core) number of v.
+	Core []int64
+	// KMax is the maximum core number.
+	KMax int64
+	// Order is the peel order; Order[i:] is the residual graph after i
+	// removals.
+	Order []int32
+	// TotalInstances is µ(G,Ψ).
+	TotalInstances int64
+	// BestResidual is the highest Ψ-density among all residual subgraphs
+	// seen during peeling (including the whole graph); BestResidualStart
+	// is the index i such that Order[i:] attains it. This implements the
+	// ρ′ tracking used by CoreExact's Pruning1 and is exactly the PeelApp
+	// candidate set.
+	BestResidual      rational.R
+	BestResidualStart int
+	// BestResidualMu is µ of the best residual subgraph.
+	BestResidualMu int64
+}
+
+// Decompose peels g with respect to the motif oracle o and returns core
+// numbers, peel order and residual-density tracking. It is Algorithm 3
+// with the bookkeeping CoreExact and PeelApp need layered on top.
+func Decompose(g *graph.Graph, o motif.Oracle) *Decomposition {
+	n := g.N()
+	st := motif.NewState(g)
+	total, deg := o.CountAndDegrees(g)
+	q := bucketq.New(deg)
+	d := &Decomposition{
+		Core:           make([]int64, n),
+		Order:          make([]int32, 0, n),
+		TotalInstances: total,
+	}
+	mu := total
+	alive := n
+	d.BestResidual = rational.New(mu, int64(alive))
+	d.BestResidualMu = mu
+	d.BestResidualStart = 0
+	cur := int64(0)
+	for {
+		v, k, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		if k > cur {
+			cur = k
+		}
+		d.Core[v] = cur
+		if cur > d.KMax {
+			d.KMax = cur
+		}
+		d.Order = append(d.Order, int32(v))
+		destroyed := o.OnRemove(st, v, func(u int, delta int64) {
+			q.DecreaseTo(u, q.Key(u)-delta, cur)
+		})
+		st.Remove(v)
+		mu -= destroyed
+		alive--
+		if alive > 0 {
+			if r := rational.New(mu, int64(alive)); r.Greater(d.BestResidual) {
+				d.BestResidual = r
+				d.BestResidualMu = mu
+				d.BestResidualStart = len(d.Order)
+			}
+		}
+	}
+	return d
+}
+
+// CoreVertices returns the vertices of the (k,Ψ)-core: those with core
+// number ≥ k.
+func (d *Decomposition) CoreVertices(k int64) []int32 {
+	var vs []int32
+	for v, c := range d.Core {
+		if c >= k {
+			vs = append(vs, int32(v))
+		}
+	}
+	return vs
+}
+
+// KMaxCoreVertices returns the vertices of the (kmax,Ψ)-core.
+func (d *Decomposition) KMaxCoreVertices() []int32 { return d.CoreVertices(d.KMax) }
+
+// BestResidualVertices returns the vertex set of the densest residual
+// subgraph observed during peeling (the PeelApp answer).
+func (d *Decomposition) BestResidualVertices() []int32 {
+	return append([]int32(nil), d.Order[d.BestResidualStart:]...)
+}

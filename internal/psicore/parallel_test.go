@@ -1,0 +1,60 @@
+package psicore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/motif"
+	"repro/internal/pattern"
+)
+
+func TestNucleusParallelMatchesSequential(t *testing.T) {
+	oracles := []motif.Oracle{
+		motif.Clique{H: 2}, motif.Clique{H: 3},
+		motif.Star{X: 2}, motif.Diamond{},
+		motif.Generic{P: pattern.CStar()},
+	}
+	f := func(seed int64) bool {
+		g := gen.GNM(25, 80, seed)
+		for _, o := range oracles {
+			want := Decompose(g, o)
+			for _, workers := range []int{1, 3, 8} {
+				got := NucleusDecomposeParallel(g, o, workers)
+				if got.KMax != want.KMax {
+					t.Logf("seed %d %s workers=%d: kmax %d want %d",
+						seed, o.Name(), workers, got.KMax, want.KMax)
+					return false
+				}
+				for v := range want.Core {
+					if got.Core[v] != want.Core[v] {
+						t.Logf("seed %d %s workers=%d: core[%d]=%d want %d",
+							seed, o.Name(), workers, v, got.Core[v], want.Core[v])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNucleusParallelDefaults(t *testing.T) {
+	g := gen.GNM(15, 40, 2)
+	want := Decompose(g, motif.Clique{H: 3})
+	got := NucleusDecomposeParallel(g, motif.Clique{H: 3}, 0)
+	if got.KMax != want.KMax {
+		t.Fatalf("default workers: kmax %d want %d", got.KMax, want.KMax)
+	}
+}
+
+func TestNucleusParallelEmpty(t *testing.T) {
+	g := gen.GNM(0, 0, 1)
+	d := NucleusDecomposeParallel(g, motif.Clique{H: 3}, 2)
+	if d.KMax != 0 || len(d.Core) != 0 {
+		t.Fatalf("empty graph: %+v", d)
+	}
+}

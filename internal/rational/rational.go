@@ -1,0 +1,113 @@
+// Package rational provides exact density arithmetic. A graph density is a
+// ratio µ/n of two non-negative integers; comparing densities with floating
+// point risks misordering subgraphs whose densities differ by as little as
+// 1/(n(n−1)) (Lemma 12 of the paper), so all density comparisons in this
+// repository go through R.Cmp, which cross-multiplies in int64 and falls
+// back to math/big on potential overflow.
+package rational
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// R is the non-negative rational Num/Den. Den == 0 with Num == 0 denotes
+// the density of an empty subgraph and compares less than every proper
+// density.
+type R struct {
+	Num int64
+	Den int64
+}
+
+// Zero is the density of the empty subgraph.
+var Zero = R{0, 0}
+
+// New returns the rational num/den. den must be non-negative.
+func New(num, den int64) R { return R{Num: num, Den: den} }
+
+// IsZero reports whether r denotes an empty/zero density.
+func (r R) IsZero() bool { return r.Num == 0 }
+
+// Float returns the float64 value of r (0 for the empty density).
+func (r R) Float() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Ceil returns ⌈r⌉ (0 for the empty density).
+func (r R) Ceil() int64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return (r.Num + r.Den - 1) / r.Den
+}
+
+// String renders r as a decimal with enough digits for test output.
+func (r R) String() string {
+	if r.Den == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%d/%d=%.4f", r.Num, r.Den, r.Float())
+}
+
+// mulOverflows reports whether a*b overflows int64. Both a and b must be
+// non-negative.
+func mulOverflows(a, b int64) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	return a > math.MaxInt64/b
+}
+
+// Cmp compares r and s exactly, returning -1, 0 or +1.
+func (r R) Cmp(s R) int {
+	// Empty densities compare below everything except other empties.
+	switch {
+	case r.Den == 0 && s.Den == 0:
+		return cmpInt64(r.Num, s.Num) // both should be 0 in practice
+	case r.Den == 0:
+		if s.Num == 0 {
+			return cmpInt64(r.Num, 0)
+		}
+		return -1
+	case s.Den == 0:
+		if r.Num == 0 {
+			return cmpInt64(0, s.Num)
+		}
+		return 1
+	}
+	if mulOverflows(r.Num, s.Den) || mulOverflows(s.Num, r.Den) {
+		a := new(big.Int).Mul(big.NewInt(r.Num), big.NewInt(s.Den))
+		b := new(big.Int).Mul(big.NewInt(s.Num), big.NewInt(r.Den))
+		return a.Cmp(b)
+	}
+	return cmpInt64(r.Num*s.Den, s.Num*r.Den)
+}
+
+// Less reports r < s exactly.
+func (r R) Less(s R) bool { return r.Cmp(s) < 0 }
+
+// Greater reports r > s exactly.
+func (r R) Greater(s R) bool { return r.Cmp(s) > 0 }
+
+// Max returns the larger of r and s.
+func Max(r, s R) R {
+	if r.Cmp(s) >= 0 {
+		return r
+	}
+	return s
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,124 @@
+package rational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCmpBasic(t *testing.T) {
+	cases := []struct {
+		a, b R
+		want int
+	}{
+		{New(1, 2), New(1, 2), 0},
+		{New(1, 2), New(2, 4), 0},
+		{New(1, 2), New(2, 3), -1},
+		{New(3, 4), New(2, 3), 1},
+		{New(0, 5), New(0, 7), 0},
+		{Zero, New(1, 100), -1},
+		{New(1, 100), Zero, 1},
+		{Zero, Zero, 0},
+		{Zero, New(0, 3), 0}, // empty vs zero-density non-empty
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Cmp(c.a); got != -c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestCmpOverflowFallback(t *testing.T) {
+	// Products exceed int64: 2^62/3 vs (2^62+1)/3 — distinguishable only
+	// with exact arithmetic.
+	big := int64(1) << 62
+	a := New(big, 3)
+	b := New(big+1, 3)
+	if a.Cmp(b) != -1 {
+		t.Fatal("overflow comparison wrong")
+	}
+	// Cross-multiplication overflow case: both products ≈ 2^124.
+	c := New(big, big-1)
+	d := New(big+1, big)
+	// c = x/(x-1), d = (x+1)/x: c > d since x² > x²-1.
+	if c.Cmp(d) != 1 {
+		t.Fatal("overflow cross-multiplication wrong")
+	}
+}
+
+func TestCeil(t *testing.T) {
+	cases := []struct {
+		r    R
+		want int64
+	}{
+		{Zero, 0},
+		{New(0, 3), 0},
+		{New(1, 3), 1},
+		{New(3, 3), 1},
+		{New(4, 3), 2},
+		{New(6, 3), 2},
+		{New(7, 3), 3},
+	}
+	for _, c := range cases {
+		if got := c.r.Ceil(); got != c.want {
+			t.Errorf("Ceil(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestFloat(t *testing.T) {
+	if Zero.Float() != 0 {
+		t.Fatal("Zero.Float() != 0")
+	}
+	if math.Abs(New(11, 7).Float()-11.0/7) > 1e-12 {
+		t.Fatal("Float imprecise")
+	}
+}
+
+func TestMax(t *testing.T) {
+	a, b := New(1, 2), New(2, 3)
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Fatal("Max wrong")
+	}
+}
+
+func TestLessGreaterConsistent(t *testing.T) {
+	f := func(n1, d1, n2, d2 uint16) bool {
+		a := New(int64(n1), int64(d1))
+		b := New(int64(n2), int64(d2))
+		c := a.Cmp(b)
+		return a.Less(b) == (c < 0) && a.Greater(b) == (c > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cmp agrees with float comparison whenever floats are clearly
+// separated.
+func TestCmpAgreesWithFloat(t *testing.T) {
+	f := func(n1, d1, n2, d2 uint16) bool {
+		a := New(int64(n1), int64(d1)+1)
+		b := New(int64(n2), int64(d2)+1)
+		fa, fb := a.Float(), b.Float()
+		if math.Abs(fa-fb) < 1e-9 {
+			return true
+		}
+		return (a.Cmp(b) < 0) == (fa < fb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if Zero.String() != "0" {
+		t.Fatalf("Zero.String() = %q", Zero.String())
+	}
+	if s := New(1, 2).String(); s != "1/2=0.5000" {
+		t.Fatalf("String = %q", s)
+	}
+}
