@@ -2,14 +2,17 @@
 //
 // Usage:
 //
-//	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-print]
+//	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-print] [-json]
 //
 // The motif is any paper pattern name ("edge", "triangle", "4-clique",
 // "2-star", "c3-star", "diamond", "2-triangle", "3-triangle", "basket").
 // Algorithms: exact, core-exact, peel, inc, core-app, nucleus.
+// With -json the result is emitted in the same encoding the dsdd HTTP
+// API uses (a wire.QueryResponse).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +20,7 @@ import (
 	"os"
 
 	dsd "repro"
+	"repro/internal/service/wire"
 )
 
 func main() {
@@ -30,10 +34,11 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsd", flag.ContinueOnError)
 	var (
-		graphPath = fs.String("graph", "", "edge-list file (required)")
-		motifName = fs.String("motif", "edge", "motif: edge, triangle, h-clique, or a pattern name")
-		algoName  = fs.String("algo", "core-exact", "algorithm: exact, core-exact, peel, inc, core-app, nucleus")
-		print     = fs.Bool("print", false, "print the vertex set of the answer")
+		graphPath  = fs.String("graph", "", "edge-list file (required)")
+		motifName  = fs.String("motif", "edge", "motif: edge, triangle, h-clique, or a pattern name")
+		algoName   = fs.String("algo", "core-exact", "algorithm: exact, core-exact, peel, inc, core-app, nucleus")
+		printVerts = fs.Bool("print", false, "print the vertex set of the answer")
+		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd API encoding")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,11 +59,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(wire.QueryResponse{
+			Graph:   *graphPath,
+			Pattern: p.Name(),
+			Algo:    *algoName,
+			Result:  wire.FromResult(res),
+		})
+	}
 	fmt.Fprintf(out, "graph: n=%d m=%d\n", g.N(), g.M())
 	fmt.Fprintf(out, "motif: %s  algorithm: %s\n", p.Name(), *algoName)
 	fmt.Fprintf(out, "densest subgraph: |V|=%d  µ=%d  ρ=%.6f  time=%s\n",
 		len(res.Vertices), res.Mu, res.Density.Float(), res.Stats.Total)
-	if *print {
+	if *printVerts {
 		for _, v := range res.Vertices {
 			fmt.Fprintln(out, v)
 		}

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/service/wire"
 )
 
 func writeTempGraph(t *testing.T) string {
@@ -43,6 +46,27 @@ func TestRunPrintsVertices(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "\n2\n") {
 		t.Fatalf("vertex list missing: %q", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := writeTempGraph(t)
+	var out bytes.Buffer
+	err := run([]string{"-graph", path, "-motif", "triangle", "-algo", "core-exact", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output is the service API encoding: a wire.QueryResponse.
+	var resp wire.QueryResponse
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("output is not a wire.QueryResponse: %v\n%s", err, out.String())
+	}
+	if resp.Graph != path || resp.Pattern != "triangle" || resp.Algo != "core-exact" {
+		t.Fatalf("query echo wrong: %+v", resp)
+	}
+	if resp.Result == nil || resp.Result.Size != 5 || resp.Result.Mu != 2 ||
+		resp.Result.DensityNum != 2 || resp.Result.DensityDen != 5 {
+		t.Fatalf("result wrong: %+v", resp.Result)
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command dsdd serves densest-subgraph queries over HTTP. It keeps
+// registered graphs and their Ψ-core work warm across queries, dispatches
+// work through a bounded worker pool, and deduplicates concurrent
+// identical queries through a single-flight result cache.
+//
+// Usage:
+//
+//	dsdd [-addr :8080] [-workers 8] [-timeout 30s]
+//	     [-graph name=edges.txt ...] [-allow-paths]
+//
+// API: POST /v1/query, GET/POST /v1/graphs, GET /v1/stats, GET /healthz.
+//
+//	curl -s localhost:8080/v1/query -d '{"graph":"web","pattern":"triangle","algo":"core-exact"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsdd: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// graphSpecs collects repeated -graph name=path flags.
+type graphSpecs []string
+
+func (g *graphSpecs) String() string { return strings.Join(*g, ",") }
+
+func (g *graphSpecs) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*g = append(*g, v)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	srv, addr, err := newServer(args)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dsdd: listening on http://%s (%d graphs, %d workers)\n",
+		ln.Addr(), srv.Engine().Stats().Graphs, srv.Engine().Workers())
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	return hs.Serve(ln)
+}
+
+// newServer parses args, preloads graphs, and builds the HTTP server.
+func newServer(args []string) (*service.Server, string, error) {
+	fs := flag.NewFlagSet("dsdd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
+		allowPaths = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
+		graphs     graphSpecs
+	)
+	fs.Var(&graphs, "graph", "preload a graph as name=edge-list-path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	reg := service.NewRegistry()
+	for _, spec := range graphs {
+		name, path, _ := strings.Cut(spec, "=")
+		if _, err := reg.RegisterFile(name, path); err != nil {
+			return nil, "", err
+		}
+	}
+	srv := service.NewServer(reg, service.Config{Workers: *workers, Timeout: *timeout})
+	if *allowPaths {
+		srv.AllowPathRegistration()
+	}
+	return srv, *addr, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/service/client"
+	"repro/internal/service/wire"
+)
+
+func writeTempGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	// Bowtie: two triangles sharing vertex 2.
+	data := "0 1\n0 2\n1 2\n2 3\n2 4\n3 4\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNewServerPreloadsGraphs(t *testing.T) {
+	path := writeTempGraph(t)
+	srv, addr, err := newServer([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-graph", "bowtie=" + path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "127.0.0.1:0" {
+		t.Fatalf("addr = %q", addr)
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	infos, err := c.Graphs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "bowtie" || infos[0].N != 5 {
+		t.Fatalf("preloaded graphs wrong: %+v", infos)
+	}
+	resp, err := c.Query(ctx, wire.QueryRequest{Graph: "bowtie", Pattern: "triangle", Algo: "core-exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Size != 5 || resp.Result.Mu != 2 {
+		t.Fatalf("query result wrong: %+v", resp.Result)
+	}
+
+	// Path registration is off by default for a preloaded server.
+	if _, err := c.RegisterFile(ctx, "again", writeTempGraph(t)); err == nil {
+		t.Fatal("path registration should be disabled by default")
+	}
+}
+
+func TestNewServerAllowPaths(t *testing.T) {
+	srv, _, err := newServer([]string{"-allow-paths"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	if _, err := c.RegisterFile(context.Background(), "disk", writeTempGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewServerErrors(t *testing.T) {
+	if _, _, err := newServer([]string{"-graph", "missing-equals"}); err == nil {
+		t.Fatal("bad -graph spec accepted")
+	}
+	if _, _, err := newServer([]string{"-graph", "g=/nonexistent/file"}); err == nil {
+		t.Fatal("bad graph path accepted")
+	}
+	if _, _, err := newServer([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunListenError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, &out); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -24,6 +24,7 @@
 package dsd
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -150,6 +151,46 @@ func PatternDensest(g *Graph, p *Pattern, algo Algo) (*Result, error) {
 		return core.Nucleus(g, motif.For(p)), nil
 	}
 	return nil, fmt.Errorf("dsd: unknown algorithm %q", algo)
+}
+
+// CliqueDensestContext is CliqueDensest bounded by ctx: it returns
+// ctx.Err() as soon as ctx is cancelled or times out, even if the
+// algorithm is still running. The paper's algorithms are not preemptible
+// mid-flow, so on early return the computation finishes (and is discarded)
+// on a background goroutine; callers that share a graph across queries
+// (e.g. the dsdd service) rely on the algorithms being read-only on g.
+func CliqueDensestContext(ctx context.Context, g *Graph, h int, algo Algo) (*Result, error) {
+	return await(ctx, func() (*Result, error) { return CliqueDensest(g, h, algo) })
+}
+
+// PatternDensestContext is PatternDensest bounded by ctx; see
+// CliqueDensestContext for the cancellation contract.
+func PatternDensestContext(ctx context.Context, g *Graph, p *Pattern, algo Algo) (*Result, error) {
+	return await(ctx, func() (*Result, error) { return PatternDensest(g, p, algo) })
+}
+
+// await runs fn on its own goroutine and returns its result, unless ctx
+// ends first, in which case ctx.Err() wins and fn's eventual result is
+// dropped.
+func await(ctx context.Context, fn func() (*Result, error)) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := fn()
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // CoreExactOptions exposes CoreExact's pruning switches for ablation.

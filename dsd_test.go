@@ -1,11 +1,57 @@
 package dsd_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	dsd "repro"
 )
+
+func TestContextEntryPoints(t *testing.T) {
+	g := triangleBowtie()
+	ctx := context.Background()
+
+	res, err := dsd.CliqueDensestContext(ctx, g, 3, dsd.AlgoCoreExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dsd.CliqueDensest(g, 3, dsd.AlgoCoreExact)
+	if res.Density != want.Density || res.Mu != want.Mu {
+		t.Fatalf("context result %v differs from direct result %v", res.Density, want.Density)
+	}
+
+	p, _ := dsd.PatternByName("triangle")
+	pres, err := dsd.PatternDensestContext(ctx, g, p, dsd.AlgoPeel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pwant, _ := dsd.PatternDensest(g, p, dsd.AlgoPeel)
+	if pres.Density != pwant.Density {
+		t.Fatalf("pattern context result differs: %v vs %v", pres.Density, pwant.Density)
+	}
+
+	// A cancelled context short-circuits before any work.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := dsd.CliqueDensestContext(cancelled, g, 3, dsd.AlgoExact); err == nil {
+		t.Fatal("cancelled context returned a result")
+	}
+
+	// An expired deadline surfaces as DeadlineExceeded.
+	expired, cancel2 := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel2()
+	<-expired.Done()
+	if _, err := dsd.PatternDensestContext(expired, g, p, dsd.AlgoExact); err != context.DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+
+	// Bad algorithms still error through the context wrappers.
+	if _, err := dsd.PatternDensestContext(ctx, g, p, dsd.Algo("bogus")); err == nil {
+		t.Fatal("bogus algo accepted")
+	}
+}
 
 func triangleBowtie() *dsd.Graph {
 	// Two triangles sharing vertex 2.

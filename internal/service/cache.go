@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Key identifies a query for caching: a registered graph name, a pattern
+// name, and an algorithm. Graph names are never re-bound (see
+// Registry.Register), so a key denotes one immutable computation.
+type Key struct {
+	Graph   string
+	Pattern string
+	Algo    string
+}
+
+// cacheEntry is a materialized-or-in-flight computation. ready is closed
+// once res/err are set; waiters select on it against their own context.
+type cacheEntry struct {
+	ready chan struct{}
+	res   *core.Result
+	err   error
+}
+
+// Cache memoizes query results with single-flight semantics: the first
+// caller of a key becomes the leader and runs the computation; concurrent
+// and later callers wait for — or immediately receive — the leader's
+// result. Successful results are cached forever (keys denote immutable
+// computations); errors are evicted so transient failures are retried.
+type Cache struct {
+	mu sync.Mutex
+	m  map[Key]*cacheEntry
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[Key]*cacheEntry)}
+}
+
+// Do returns the cached result for key, computing it with fn if absent.
+// fn runs on its own goroutine exactly once per missing key, regardless
+// of how many callers arrive concurrently, and it runs to completion even
+// if every waiter's ctx ends first — a timed-out client must not void the
+// work for the clients behind it. shared is false only for the single
+// caller whose arrival triggered fn.
+func (c *Cache) Do(ctx context.Context, key Key, fn func() (*core.Result, error)) (res *core.Result, shared bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		return e.wait(ctx, true)
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	go func() {
+		e.res, e.err = fn()
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.m, key)
+			c.mu.Unlock()
+		}
+		close(e.ready)
+	}()
+	return e.wait(ctx, false)
+}
+
+func (e *cacheEntry) wait(ctx context.Context, shared bool) (*core.Result, bool, error) {
+	select {
+	case <-e.ready:
+		return e.res, shared, e.err
+	case <-ctx.Done():
+		return nil, shared, ctx.Err()
+	}
+}
+
+// Len returns the number of completed or in-flight entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

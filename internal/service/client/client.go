@@ -1,0 +1,128 @@
+// Package client is a small Go client for the dsdd HTTP API. It is the
+// reference consumer of the wire encoding and is what the service's own
+// tests use to exercise the server end to end.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/service/wire"
+)
+
+// Client talks to one dsdd server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://localhost:8080").
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: hc}
+}
+
+// Query runs a densest-subgraph query.
+func (c *Client) Query(ctx context.Context, req wire.QueryRequest) (*wire.QueryResponse, error) {
+	var resp wire.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RegisterEdges registers a graph from an inline edge list.
+func (c *Client) RegisterEdges(ctx context.Context, name, edges string) (*wire.GraphInfo, error) {
+	return c.register(ctx, wire.RegisterRequest{Name: name, Edges: edges})
+}
+
+// RegisterFile registers a graph from a file path readable by the server.
+func (c *Client) RegisterFile(ctx context.Context, name, path string) (*wire.GraphInfo, error) {
+	return c.register(ctx, wire.RegisterRequest{Name: name, Path: path})
+}
+
+func (c *Client) register(ctx context.Context, req wire.RegisterRequest) (*wire.GraphInfo, error) {
+	var info wire.GraphInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Graphs lists the registered graphs.
+func (c *Client) Graphs(ctx context.Context) ([]wire.GraphInfo, error) {
+	var infos []wire.GraphInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Stats fetches the service's operational counters.
+func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	var stats wire.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+// Health checks the liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: health check: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// do sends one JSON request and decodes the JSON response into out.
+// Non-2xx responses are surfaced as errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr wire.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: %s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	dsd "repro"
+	"repro/internal/core"
+	"repro/internal/service/wire"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers bounds how many densest-subgraph computations run at once
+	// (0 = GOMAXPROCS). Queries beyond the bound queue for a slot.
+	Workers int
+	// Timeout bounds each computation, end to end, including the wait
+	// for a worker slot (0 = no timeout). A request's own timeout only
+	// bounds how long that caller waits; the shared computation answers
+	// to this budget alone.
+	Timeout time.Duration
+}
+
+// Engine dispatches (graph, pattern, algo) queries to the dsd library
+// through a bounded worker pool, memoizing results in a single-flight
+// cache so concurrent identical queries compute once.
+type Engine struct {
+	reg     *Registry
+	cache   *Cache
+	sem     chan struct{}
+	timeout time.Duration
+
+	queries  atomic.Int64
+	computes atomic.Int64
+	hits     atomic.Int64
+	errors   atomic.Int64
+}
+
+// NewEngine builds an engine over reg.
+func NewEngine(reg *Registry, cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		reg:     reg,
+		cache:   NewCache(),
+		sem:     make(chan struct{}, workers),
+		timeout: cfg.Timeout,
+	}
+}
+
+// Workers returns the worker-pool bound.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Query answers the Ψ-densest-subgraph query (graphName, patternName,
+// algo). ctx and timeout (if positive) bound how long this caller waits;
+// the computation itself is bounded only by the engine-wide budget, since
+// under single flight it serves every waiter on the key and one impatient
+// client must not void it for the rest. cached reports that the answer
+// was served without running the algorithm on this request's behalf (a
+// cache hit or a single-flight join).
+func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo dsd.Algo, timeout time.Duration) (res *core.Result, cached bool, err error) {
+	e.queries.Add(1)
+	defer func() {
+		if err != nil {
+			e.errors.Add(1)
+		}
+	}()
+
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	entry, ok := e.reg.Get(graphName)
+	if !ok {
+		return nil, false, fmt.Errorf("service: unknown graph %q", graphName)
+	}
+	p, err := dsd.PatternByName(patternName)
+	if err != nil {
+		return nil, false, err
+	}
+	if !validAlgo(algo) {
+		return nil, false, fmt.Errorf("service: unknown algorithm %q", algo)
+	}
+
+	waitCtx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	key := Key{Graph: graphName, Pattern: p.Name(), Algo: string(algo)}
+	res, cached, err = e.cache.Do(waitCtx, key, func() (*core.Result, error) {
+		// The computation is deliberately detached from the submitting
+		// request's ctx: under single flight it serves every waiter on
+		// the key, so only the engine's own budget may cancel it.
+		cctx := context.Background()
+		if e.timeout > 0 {
+			var cancel context.CancelFunc
+			cctx, cancel = context.WithTimeout(cctx, e.timeout)
+			defer cancel()
+			if err := cctx.Err(); err != nil {
+				return nil, fmt.Errorf("service: query %v: %w", key, err)
+			}
+		}
+		select {
+		case e.sem <- struct{}{}:
+		case <-cctx.Done():
+			return nil, fmt.Errorf("service: query %v timed out waiting for a worker: %w", key, cctx.Err())
+		}
+		e.computes.Add(1)
+		type outcome struct {
+			res *core.Result
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			// The worker slot is held until the algorithm truly
+			// returns, not until the budget fires: the paper's
+			// algorithms are not preemptible, so a timed-out
+			// computation still occupies a worker and the Workers
+			// bound must account for it.
+			defer func() { <-e.sem }()
+			r, err := dsd.PatternDensestContext(context.Background(), entry.G, p, algo)
+			done <- outcome{r, err}
+		}()
+		select {
+		case o := <-done:
+			return o.res, o.err
+		case <-cctx.Done():
+			return nil, fmt.Errorf("service: query %v: %w", key, cctx.Err())
+		}
+	})
+	if cached && err == nil {
+		e.hits.Add(1)
+	}
+	return res, cached, err
+}
+
+// Stats returns the engine's operational counters.
+func (e *Engine) Stats() wire.StatsResponse {
+	return wire.StatsResponse{
+		Graphs:    e.reg.Len(),
+		Workers:   cap(e.sem),
+		Queries:   e.queries.Load(),
+		Computes:  e.computes.Load(),
+		CacheHits: e.hits.Load(),
+		Errors:    e.errors.Load(),
+	}
+}
+
+// validAlgo reports whether algo is one of the library's algorithms.
+func validAlgo(algo dsd.Algo) bool {
+	switch algo {
+	case dsd.AlgoExact, dsd.AlgoCoreExact, dsd.AlgoPeel, dsd.AlgoInc, dsd.AlgoCoreApp, dsd.AlgoNucleus:
+		return true
+	}
+	return false
+}

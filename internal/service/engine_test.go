@@ -1,0 +1,208 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	dsd "repro"
+	"repro/internal/core"
+)
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	r := NewRegistry()
+	if _, err := r.Register("bowtie", bowtie()); err != nil {
+		t.Fatal(err)
+	}
+	// A second graph so distinct keys span graphs as well as patterns.
+	if _, err := r.Register("k4", dsd.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(r, cfg)
+}
+
+func TestEngineQueryMatchesLibrary(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	res, cached, err := e.Query(context.Background(), "bowtie", "triangle", dsd.AlgoCoreExact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first query reported cached")
+	}
+	p, _ := dsd.PatternByName("triangle")
+	want, _ := dsd.PatternDensest(bowtie(), p, dsd.AlgoCoreExact)
+	assertSameResult(t, res, want)
+
+	// Second identical query is a cache hit with the same answer.
+	res2, cached2, err := e.Query(context.Background(), "bowtie", "triangle", dsd.AlgoCoreExact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached2 {
+		t.Fatal("repeat query not served from cache")
+	}
+	assertSameResult(t, res2, want)
+	s := e.Stats()
+	if s.Queries != 2 || s.Computes != 1 || s.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want queries=2 computes=1 hits=1", s)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	cases := []struct{ graph, pattern, algo string }{
+		{"nope", "triangle", "core-exact"},
+		{"bowtie", "heptagon", "core-exact"},
+		{"bowtie", "triangle", "bogus"},
+	}
+	for _, c := range cases {
+		if _, _, err := e.Query(context.Background(), c.graph, c.pattern, dsd.Algo(c.algo), 0); err == nil {
+			t.Fatalf("query %+v succeeded", c)
+		}
+	}
+	if s := e.Stats(); s.Errors != int64(len(cases)) {
+		t.Fatalf("errors = %d, want %d", s.Errors, len(cases))
+	}
+}
+
+func TestEngineTimeout(t *testing.T) {
+	// A per-request timeout bounds only that caller's wait: the shared
+	// computation runs to completion and serves later callers.
+	e := newTestEngine(t, Config{Workers: 1})
+	_, _, err := e.Query(context.Background(), "bowtie", "triangle", dsd.AlgoCoreExact, time.Nanosecond)
+	if err == nil {
+		t.Fatal("1ns wait budget succeeded")
+	}
+	res, _, err := e.Query(context.Background(), "bowtie", "triangle", dsd.AlgoCoreExact, 0)
+	if err != nil || res == nil {
+		t.Fatalf("retry after caller timeout failed: %v", err)
+	}
+	if got := e.Stats().Computes; got != 1 {
+		t.Fatalf("computes = %d, want 1 (abandoned wait must not void the computation)", got)
+	}
+
+	// The engine-wide compute budget is not loosened by a generous
+	// per-request timeout, and its errors are not cached.
+	tight := newTestEngine(t, Config{Workers: 1, Timeout: time.Nanosecond})
+	if _, _, err := tight.Query(context.Background(), "bowtie", "triangle", dsd.AlgoCoreExact, time.Minute); err == nil {
+		t.Fatal("per-request timeout loosened the engine budget")
+	}
+	if got := tight.cache.Len(); got != 0 {
+		t.Fatalf("budget error left %d cache entries", got)
+	}
+}
+
+func TestEngineCallerCancellation(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.Query(ctx, "bowtie", "triangle", dsd.AlgoCoreExact, 0); err == nil {
+		t.Fatal("cancelled caller got a result")
+	}
+}
+
+// TestEngineStressSingleFlight fires many identical and distinct queries
+// concurrently (run under -race) and asserts single-flight dedup: the
+// number of computations equals the number of distinct keys, every other
+// query is served shared, and all answers agree with direct library calls.
+func TestEngineStressSingleFlight(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 4})
+	type q struct {
+		graph, pattern string
+		algo           dsd.Algo
+	}
+	distinct := []q{
+		{"bowtie", "edge", dsd.AlgoCoreExact},
+		{"bowtie", "triangle", dsd.AlgoCoreExact},
+		{"bowtie", "triangle", dsd.AlgoPeel},
+		{"bowtie", "diamond", dsd.AlgoExact},
+		{"k4", "edge", dsd.AlgoPeel},
+		{"k4", "triangle", dsd.AlgoCoreApp},
+		{"k4", "4-clique", dsd.AlgoExact},
+		{"k4", "2-star", dsd.AlgoInc},
+	}
+	want := make([]*core.Result, len(distinct))
+	graphs := map[string]*dsd.Graph{"bowtie": bowtie(),
+		"k4": dsd.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})}
+	for i, c := range distinct {
+		p, err := dsd.PatternByName(c.pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], err = dsd.PatternDensest(graphs[c.graph], p, c.algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const fanout = 16 // concurrent callers per distinct key
+	var wg sync.WaitGroup
+	errs := make(chan error, len(distinct)*fanout)
+	for i, c := range distinct {
+		for j := 0; j < fanout; j++ {
+			wg.Add(1)
+			go func(i int, c q) {
+				defer wg.Done()
+				res, _, err := e.Query(context.Background(), c.graph, c.pattern, c.algo, 0)
+				if err != nil {
+					errs <- fmt.Errorf("%+v: %w", c, err)
+					return
+				}
+				if err := sameResult(res, want[i]); err != nil {
+					errs <- fmt.Errorf("%+v: %w", c, err)
+				}
+			}(i, c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	s := e.Stats()
+	if s.Computes != int64(len(distinct)) {
+		t.Fatalf("computes = %d, want %d (one per distinct key)", s.Computes, len(distinct))
+	}
+	if s.Queries != int64(len(distinct)*fanout) {
+		t.Fatalf("queries = %d, want %d", s.Queries, len(distinct)*fanout)
+	}
+	if s.CacheHits != s.Queries-s.Computes {
+		t.Fatalf("hits = %d, want queries-computes = %d", s.CacheHits, s.Queries-s.Computes)
+	}
+	if e.cache.Len() != len(distinct) {
+		t.Fatalf("cache holds %d entries, want %d", e.cache.Len(), len(distinct))
+	}
+}
+
+func assertSameResult(t *testing.T, got, want *core.Result) {
+	t.Helper()
+	if err := sameResult(got, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameResult checks that two answers agree. Vertex sets are compared
+// exactly: the library's algorithms are deterministic for a fixed graph,
+// pattern and algorithm.
+func sameResult(got, want *core.Result) error {
+	if got == nil {
+		return fmt.Errorf("nil result")
+	}
+	if got.Mu != want.Mu || got.Density != want.Density {
+		return fmt.Errorf("got µ=%d ρ=%v, want µ=%d ρ=%v", got.Mu, got.Density, want.Mu, want.Density)
+	}
+	if len(got.Vertices) != len(want.Vertices) {
+		return fmt.Errorf("got %d vertices, want %d", len(got.Vertices), len(want.Vertices))
+	}
+	for i := range got.Vertices {
+		if got.Vertices[i] != want.Vertices[i] {
+			return fmt.Errorf("vertex sets differ: got %v, want %v", got.Vertices, want.Vertices)
+		}
+	}
+	return nil
+}

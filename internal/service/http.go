@@ -1,0 +1,175 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	dsd "repro"
+	"repro/internal/service/wire"
+)
+
+// Server is the HTTP JSON API over a Registry and Engine:
+//
+//	POST /v1/query   — run a densest-subgraph query
+//	GET  /v1/graphs  — list registered graphs with their stats
+//	POST /v1/graphs  — register a graph (inline edges or server path)
+//	GET  /v1/stats   — operational counters
+//	GET  /healthz    — liveness probe
+type Server struct {
+	reg    *Registry
+	engine *Engine
+	mux    *http.ServeMux
+	// allowPaths gates POST /v1/graphs {"path": ...}: reading arbitrary
+	// server files on request is opt-in (the dsdd binary enables it).
+	allowPaths bool
+}
+
+// NewServer builds a server over reg with a fresh engine.
+func NewServer(reg *Registry, cfg Config) *Server {
+	s := &Server{reg: reg, engine: NewEngine(reg, cfg)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// AllowPathRegistration enables registering graphs from server-side file
+// paths via the API.
+func (s *Server) AllowPathRegistration() { s.allowPaths = true }
+
+// Engine returns the server's query engine (for stats and tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Graph == "" || req.Pattern == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("graph and pattern are required"))
+		return
+	}
+	algo := dsd.AlgoCoreExact
+	if req.Algo != "" {
+		algo = dsd.Algo(req.Algo)
+	}
+	res, cached, err := s.engine.Query(r.Context(), req.Graph, req.Pattern, algo,
+		time.Duration(req.TimeoutMs)*time.Millisecond)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.QueryResponse{
+		Graph:   req.Graph,
+		Pattern: req.Pattern,
+		Algo:    string(algo),
+		Cached:  cached,
+		Result:  wire.FromResult(res),
+	})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.List()
+	infos := make([]wire.GraphInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = e.Info()
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var entry *GraphEntry
+	var err error
+	switch {
+	case req.Edges != "" && req.Path != "":
+		writeError(w, http.StatusBadRequest, fmt.Errorf("edges and path are mutually exclusive"))
+		return
+	case req.Edges != "":
+		entry, err = s.reg.RegisterEdgeList(req.Name, strings.NewReader(req.Edges))
+	case req.Path != "":
+		if !s.allowPaths {
+			writeError(w, http.StatusForbidden, fmt.Errorf("path registration is disabled on this server"))
+			return
+		}
+		entry, err = s.reg.RegisterFile(req.Name, req.Path)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("one of edges or path is required"))
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrAlreadyRegistered) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, entry.Info())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statusFor maps engine errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case strings.Contains(err.Error(), "unknown graph"):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// maxBodyBytes caps request bodies; the largest legitimate payload is an
+// inline edge list, and one oversized request must not be able to OOM the
+// server.
+const maxBodyBytes = 64 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, wire.ErrorResponse{Error: err.Error()})
+}

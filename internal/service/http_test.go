@@ -1,0 +1,239 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	dsd "repro"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/service/wire"
+)
+
+// bowtieEdges is two triangles sharing vertex 2, plus a pendant path —
+// enough structure that different algorithms have real work to do.
+const bowtieEdges = "0 1\n0 2\n1 2\n2 3\n2 4\n3 4\n4 5\n5 6\n"
+
+func newTestServer(t *testing.T) (*service.Server, *client.Client) {
+	t.Helper()
+	srv := service.NewServer(service.NewRegistry(), service.Config{Workers: 4, Timeout: time.Minute})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, client.New(ts.URL, ts.Client())
+}
+
+// TestServerEndToEnd is the acceptance test: it registers a graph over
+// HTTP, fires parallel mixed-algorithm queries (run under -race), checks
+// every answer against a direct dsd.PatternDensest call, and asserts that
+// identical in-flight queries were computed exactly once.
+func TestServerEndToEnd(t *testing.T) {
+	srv, c := newTestServer(t)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.RegisterEdges(ctx, "bowtie", bowtieEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "bowtie" || info.N != 7 || info.M != 8 {
+		t.Fatalf("registered info wrong: %+v", info)
+	}
+
+	// The mixed-algorithm query set: 8 distinct (pattern, algo) keys.
+	queries := []wire.QueryRequest{
+		{Graph: "bowtie", Pattern: "edge", Algo: "exact"},
+		{Graph: "bowtie", Pattern: "edge", Algo: "peel"},
+		{Graph: "bowtie", Pattern: "triangle", Algo: "core-exact"},
+		{Graph: "bowtie", Pattern: "triangle", Algo: "inc"},
+		{Graph: "bowtie", Pattern: "triangle", Algo: "core-app"},
+		{Graph: "bowtie", Pattern: "diamond", Algo: "exact"},
+		{Graph: "bowtie", Pattern: "2-star", Algo: "peel"},
+		{Graph: "bowtie", Pattern: "3-clique", Algo: "nucleus"},
+	}
+	g, err := dsd.FromEdgeList(strings.NewReader(bowtieEdges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]*wire.Result, len(queries))
+	for _, q := range queries {
+		p, err := dsd.PatternByName(q.Pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dsd.PatternDensest(g, p, dsd.Algo(q.Algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q.Pattern+"/"+q.Algo] = wire.FromResult(res)
+	}
+
+	// Fire every query repeat×, all in parallel: ≥ 8 concurrent mixed
+	// queries plus identical in-flight duplicates of each.
+	const repeat = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, len(queries)*repeat)
+	for _, q := range queries {
+		for j := 0; j < repeat; j++ {
+			wg.Add(1)
+			go func(q wire.QueryRequest) {
+				defer wg.Done()
+				resp, err := c.Query(ctx, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				w := want[q.Pattern+"/"+q.Algo]
+				got := resp.Result
+				if got == nil {
+					errs <- fmt.Errorf("%s/%s: nil result", q.Pattern, q.Algo)
+					return
+				}
+				if got.Mu != w.Mu || got.DensityNum != w.DensityNum || got.DensityDen != w.DensityDen ||
+					fmt.Sprint(got.Vertices) != fmt.Sprint(w.Vertices) {
+					errs <- fmt.Errorf("%s/%s: got %+v, want %+v", q.Pattern, q.Algo, got, w)
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Identical in-flight queries computed exactly once per distinct key.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Computes != int64(len(queries)) {
+		t.Errorf("computes = %d, want %d (one per distinct key)", stats.Computes, len(queries))
+	}
+	if stats.Queries != int64(len(queries)*repeat) {
+		t.Errorf("queries = %d, want %d", stats.Queries, len(queries)*repeat)
+	}
+	if stats.CacheHits != stats.Queries-stats.Computes {
+		t.Errorf("cache hits = %d, want %d", stats.CacheHits, stats.Queries-stats.Computes)
+	}
+	if stats.Graphs != 1 || stats.Errors != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if got := srv.Engine().Stats(); got != *stats {
+		t.Errorf("client stats %+v != engine stats %+v", *stats, got)
+	}
+
+	infos, err := c.Graphs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "bowtie" {
+		t.Fatalf("graph list wrong: %+v", infos)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.RegisterEdges(ctx, "g", bowtieEdges); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		req  wire.QueryRequest
+		code string
+	}{
+		{"unknown graph", wire.QueryRequest{Graph: "nope", Pattern: "edge"}, "404"},
+		{"unknown pattern", wire.QueryRequest{Graph: "g", Pattern: "heptagon"}, "400"},
+		{"unknown algo", wire.QueryRequest{Graph: "g", Pattern: "edge", Algo: "bogus"}, "400"},
+		{"missing fields", wire.QueryRequest{}, "400"},
+	} {
+		_, err := c.Query(ctx, tc.req)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), "status "+tc.code) {
+			t.Fatalf("%s: want status %s, got %v", tc.name, tc.code, err)
+		}
+	}
+
+	// Duplicate registration conflicts.
+	if _, err := c.RegisterEdges(ctx, "g", bowtieEdges); err == nil || !strings.Contains(err.Error(), "status 409") {
+		t.Fatalf("duplicate registration: %v", err)
+	}
+	// Malformed edge list.
+	if _, err := c.RegisterEdges(ctx, "bad", "0 x\n"); err == nil {
+		t.Fatal("malformed edge list accepted")
+	}
+	// Path registration is disabled unless opted in.
+	if _, err := c.RegisterFile(ctx, "p", "/etc/hostname"); err == nil || !strings.Contains(err.Error(), "status 403") {
+		t.Fatalf("path registration not forbidden: %v", err)
+	}
+}
+
+func TestServerPathRegistrationOptIn(t *testing.T) {
+	srv := service.NewServer(service.NewRegistry(), service.Config{Workers: 1})
+	srv.AllowPathRegistration()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte(bowtieEdges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.RegisterFile(context.Background(), "disk", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 7 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestServerMethodAndBodyValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Wrong method on /v1/query.
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query status = %d", resp.StatusCode)
+	}
+
+	// Unknown fields are rejected.
+	resp, err = http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(`{"grph":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field status = %d", resp.StatusCode)
+	}
+
+	// Oversized bodies are cut off instead of buffered.
+	resp, err = http.Post(ts.URL+"/v1/graphs", "application/json", bytes.NewReader(make([]byte, 64<<20+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body status = %d", resp.StatusCode)
+	}
+}

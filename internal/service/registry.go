@@ -1,0 +1,125 @@
+// Package service is the serving layer over the dsd library: a
+// thread-safe graph registry, a query engine with a bounded worker pool
+// and a single-flight result cache, and an HTTP JSON API (see Server).
+// It amortizes per-graph work across many queries instead of recomputing
+// it per CLI invocation.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	dsd "repro"
+	"repro/internal/graph"
+	"repro/internal/service/wire"
+)
+
+// ErrAlreadyRegistered reports a graph-name collision; match with
+// errors.Is.
+var ErrAlreadyRegistered = errors.New("already registered")
+
+// GraphEntry is one registered graph with its precomputed structural
+// summary. Entries are immutable after registration, so they may be read
+// concurrently without locking.
+type GraphEntry struct {
+	Name     string
+	G        *dsd.Graph
+	Stats    graph.Stats
+	LoadedAt time.Time
+}
+
+// Info returns the entry's wire form.
+func (e *GraphEntry) Info() wire.GraphInfo { return wire.FromStats(e.Name, e.Stats) }
+
+// Registry is a thread-safe collection of named graphs. Registration
+// computes the graph's structural summary once; queries then share the
+// immutable entry.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*GraphEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*GraphEntry)}
+}
+
+// Register adds g under name. Names are non-empty and unique: re-using a
+// name is an error, so a name durably identifies one graph and result
+// caches keyed by name can never serve answers for a replaced graph.
+func (r *Registry) Register(name string, g *dsd.Graph) (*GraphEntry, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("service: empty graph name")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("service: nil graph %q", name)
+	}
+	// Fail fast on an existing name before paying for ComputeStats; the
+	// authoritative check below still runs under the write lock.
+	r.mu.RLock()
+	_, dup := r.graphs[name]
+	r.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("service: graph %q %w", name, ErrAlreadyRegistered)
+	}
+	// Precompute outside the lock: ComputeStats is O(n·m) in the worst
+	// case and must not serialize registrations behind it.
+	entry := &GraphEntry{Name: name, G: g, Stats: g.ComputeStats(), LoadedAt: time.Now()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return nil, fmt.Errorf("service: graph %q %w", name, ErrAlreadyRegistered)
+	}
+	r.graphs[name] = entry
+	return entry, nil
+}
+
+// RegisterEdgeList parses a whitespace edge list and registers it.
+func (r *Registry) RegisterEdgeList(name string, rd io.Reader) (*GraphEntry, error) {
+	g, err := dsd.FromEdgeList(rd)
+	if err != nil {
+		return nil, fmt.Errorf("service: graph %q: %w", name, err)
+	}
+	return r.Register(name, g)
+}
+
+// RegisterFile loads an edge-list file and registers it.
+func (r *Registry) RegisterFile(name, path string) (*GraphEntry, error) {
+	g, err := dsd.LoadEdgeList(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: graph %q: %w", name, err)
+	}
+	return r.Register(name, g)
+}
+
+// Get returns the entry registered under name.
+func (r *Registry) Get(name string) (*GraphEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	return e, ok
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*GraphEntry {
+	r.mu.RLock()
+	out := make([]*GraphEntry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

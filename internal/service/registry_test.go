@@ -1,0 +1,79 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	dsd "repro"
+)
+
+// bowtie is two triangles sharing vertex 2.
+const bowtieEdges = "0 1\n0 2\n1 2\n2 3\n2 4\n3 4\n"
+
+func bowtie() *dsd.Graph {
+	return dsd.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}})
+}
+
+func TestRegistryRegisterAndGet(t *testing.T) {
+	r := NewRegistry()
+	e, err := r.Register("bowtie", bowtie())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.N != 5 || e.Stats.M != 6 || e.Stats.Components != 1 {
+		t.Fatalf("precomputed stats wrong: %+v", e.Stats)
+	}
+	got, ok := r.Get("bowtie")
+	if !ok || got != e {
+		t.Fatalf("Get returned %v, %v", got, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("Get found unregistered graph")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndBadInput(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("g", bowtie()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("g", bowtie()); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := r.Register("  ", bowtie()); err == nil {
+		t.Fatal("blank name accepted")
+	}
+	if _, err := r.Register("nil", nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestRegistryEdgeListAndFile(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.RegisterEdgeList("inline", strings.NewReader(bowtieEdges)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte(bowtieEdges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RegisterFile("file", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RegisterFile("missing", filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	list := r.List()
+	if len(list) != 2 || list[0].Name != "file" || list[1].Name != "inline" {
+		t.Fatalf("List not sorted by name: %v", []string{list[0].Name, list[1].Name})
+	}
+	info := list[0].Info()
+	if info.Name != "file" || info.N != 5 || info.M != 6 {
+		t.Fatalf("Info wrong: %+v", info)
+	}
+}

@@ -1,0 +1,114 @@
+// Package wire defines the JSON encoding shared by the dsdd HTTP API,
+// its Go client, and the dsd CLI's -json output. Keeping the encoding in
+// one place guarantees that a result printed by the CLI is byte-for-byte
+// the encoding the service returns for the same query.
+package wire
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Result is the JSON form of a densest-subgraph answer. The exact density
+// is carried as the µ/n rational (DensityNum/DensityDen) alongside its
+// float64 value, so clients that care about Lemma-12-precision comparisons
+// never have to re-derive it from the float.
+type Result struct {
+	Vertices   []int32 `json:"vertices"`
+	Size       int     `json:"size"`
+	Mu         int64   `json:"mu"`
+	DensityNum int64   `json:"density_num"`
+	DensityDen int64   `json:"density_den"`
+	Density    float64 `json:"density"`
+	Iterations int     `json:"iterations,omitempty"`
+	TotalMs    float64 `json:"total_ms"`
+}
+
+// FromResult converts a core result into its wire form.
+func FromResult(res *core.Result) *Result {
+	if res == nil {
+		return nil
+	}
+	return &Result{
+		Vertices:   res.Vertices,
+		Size:       len(res.Vertices),
+		Mu:         res.Mu,
+		DensityNum: res.Density.Num,
+		DensityDen: res.Density.Den,
+		Density:    res.Density.Float(),
+		Iterations: res.Stats.Iterations,
+		TotalMs:    float64(res.Stats.Total) / float64(time.Millisecond),
+	}
+}
+
+// QueryRequest asks for the Ψ-densest subgraph of a registered graph.
+type QueryRequest struct {
+	Graph   string `json:"graph"`
+	Pattern string `json:"pattern"`
+	Algo    string `json:"algo"`
+	// TimeoutMs optionally tightens (never loosens) the server's
+	// per-query timeout for this request.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the answer to a QueryRequest. Cached reports whether
+// the result was served without running the algorithm for this request —
+// either a cache hit or a single-flight join of an in-flight computation.
+type QueryResponse struct {
+	Graph   string  `json:"graph"`
+	Pattern string  `json:"pattern"`
+	Algo    string  `json:"algo"`
+	Cached  bool    `json:"cached"`
+	Result  *Result `json:"result"`
+}
+
+// RegisterRequest registers a named graph, either from an inline
+// whitespace edge list ("u v" per line) or from a file path readable by
+// the server.
+type RegisterRequest struct {
+	Name  string `json:"name"`
+	Edges string `json:"edges,omitempty"`
+	Path  string `json:"path,omitempty"`
+}
+
+// GraphInfo is the registry's view of one graph: its name plus the
+// precomputed structural summary (the paper's Table 2 columns).
+type GraphInfo struct {
+	Name       string  `json:"name"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	Components int     `json:"components"`
+	Diameter   int     `json:"diameter"`
+	MaxDegree  int     `json:"max_degree"`
+	PowerLawA  float64 `json:"power_law_alpha"`
+}
+
+// FromStats builds a GraphInfo from a precomputed structural summary.
+func FromStats(name string, s graph.Stats) GraphInfo {
+	return GraphInfo{
+		Name:       name,
+		N:          s.N,
+		M:          s.M,
+		Components: s.Components,
+		Diameter:   s.Diameter,
+		MaxDegree:  s.MaxDegree,
+		PowerLawA:  s.PowerLawA,
+	}
+}
+
+// StatsResponse is the service's operational counters.
+type StatsResponse struct {
+	Graphs    int   `json:"graphs"`
+	Workers   int   `json:"workers"`
+	Queries   int64 `json:"queries"`
+	Computes  int64 `json:"computes"`
+	CacheHits int64 `json:"cache_hits"`
+	Errors    int64 `json:"errors"`
+}
+
+// ErrorResponse carries an API error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
