@@ -1,0 +1,36 @@
+# Developer entry points mirroring CI (.github/workflows/ci.yml):
+# `make check` is the test job, `make bench` is the bench job. Run them
+# before pushing and the gates cannot surprise you.
+
+GO ?= go
+BENCH_OUT ?= BENCH_2.json
+
+.PHONY: check fmt vet build test race bench clean
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Produce and validate the perf-trajectory artifact locally, exactly as
+# CI's bench job does.
+bench:
+	$(GO) run ./cmd/dsdbench -run perfsuite -quick -json -out $(BENCH_OUT) -workers 4
+	$(GO) run ./cmd/dsdbench -validate $(BENCH_OUT)
+
+clean:
+	$(GO) clean ./...

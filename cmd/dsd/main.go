@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-print] [-json]
+//	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-workers 4] [-print] [-json]
 //
 // The motif is any paper pattern name ("edge", "triangle", "4-clique",
 // "2-star", "c3-star", "diamond", "2-triangle", "3-triangle", "basket").
@@ -12,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	dsd "repro"
 	"repro/internal/service/wire"
@@ -37,6 +39,7 @@ func run(args []string, out io.Writer) error {
 		graphPath  = fs.String("graph", "", "edge-list file (required)")
 		motifName  = fs.String("motif", "edge", "motif: edge, triangle, h-clique, or a pattern name")
 		algoName   = fs.String("algo", "core-exact", "algorithm: exact, core-exact, peel, inc, core-app, nucleus")
+		workers    = fs.Int("workers", 0, "parallel workers for core-exact (0 or 1 = serial, -1 = GOMAXPROCS)")
 		printVerts = fs.Bool("print", false, "print the vertex set of the answer")
 		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd API encoding")
 	)
@@ -55,7 +58,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := dsd.PatternDensest(g, p, dsd.Algo(*algoName))
+	w := *workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	res, err := dsd.PatternDensestWith(context.Background(), g, p, dsd.Config{
+		Algo:    dsd.Algo(*algoName),
+		Workers: w,
+	})
 	if err != nil {
 		return err
 	}

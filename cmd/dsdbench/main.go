@@ -1,11 +1,19 @@
 // Command dsdbench regenerates the paper's evaluation tables and figures
-// on the synthetic dataset stand-ins.
+// on the synthetic dataset stand-ins, and emits the repository's perf
+// trajectory artifacts (BENCH_*.json).
 //
 // Usage:
 //
 //	dsdbench -list
 //	dsdbench -run fig8exact
 //	dsdbench -run all [-div 4] [-maxh 4] [-quick]
+//	dsdbench -run perfsuite -quick -json [-out BENCH_2.json] [-workers 4]
+//	dsdbench -validate BENCH_2.json
+//
+// With -json (perfsuite only) the suite is emitted as a dsd-bench/v1
+// JSON report instead of a table; -validate checks an existing report
+// against the schema and exits non-zero on any violation, which is how
+// CI gates the bench artifact.
 package main
 
 import (
@@ -30,15 +38,31 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
 	var (
-		runID   = fs.String("run", "", "experiment id, or \"all\"")
-		list    = fs.Bool("list", false, "list experiments")
-		div     = fs.Int("div", 1, "extra dataset downscale divisor")
-		maxh    = fs.Int("maxh", 6, "largest clique size to sweep")
-		quick   = fs.Bool("quick", false, "smoke-test sizes")
-		ibudget = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
+		runID    = fs.String("run", "", "experiment id, or \"all\"")
+		list     = fs.Bool("list", false, "list experiments")
+		div      = fs.Int("div", 1, "extra dataset downscale divisor")
+		maxh     = fs.Int("maxh", 6, "largest clique size to sweep")
+		quick    = fs.Bool("quick", false, "smoke-test sizes")
+		ibudget  = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
+		workers  = fs.Int("workers", 0, "perf-suite parallel arm worker count (0 = the reference arm of 4)")
+		asJSON   = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
+		outPath  = fs.String("out", "", "write the -json report to this file instead of stdout")
+		validate = fs.String("validate", "", "validate a BENCH_*.json report and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			return err
+		}
+		if err := expt.ValidateBenchReport(data); err != nil {
+			return fmt.Errorf("%s: %w", *validate, err)
+		}
+		fmt.Fprintf(out, "%s: valid %s report\n", *validate, expt.BenchSchema)
+		return nil
 	}
 
 	if *list || *runID == "" {
@@ -60,6 +84,33 @@ func run(args []string, out io.Writer) error {
 	}
 	if *ibudget > 0 {
 		cfg.InstanceBudget = *ibudget
+	}
+	cfg.Workers = *workers
+
+	if *asJSON {
+		if *runID != "perfsuite" {
+			return fmt.Errorf("-json is only supported with -run perfsuite (got %q)", *runID)
+		}
+		rep, err := expt.PerfSuiteReport(cfg)
+		if err != nil {
+			return err
+		}
+		w := out
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := expt.WriteBenchReport(w, rep); err != nil {
+			return err
+		}
+		if *outPath != "" {
+			fmt.Fprintf(out, "wrote %s (%d cases)\n", *outPath, len(rep.Cases))
+		}
+		return nil
 	}
 
 	var selected []expt.Experiment

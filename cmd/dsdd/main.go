@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dsdd [-addr :8080] [-workers 8] [-timeout 30s]
+//	dsdd [-addr :8080] [-workers 8] [-algo-workers 2] [-timeout 30s]
 //	     [-graph name=edges.txt ...] [-allow-paths]
 //
 // API: POST /v1/query, GET/POST /v1/graphs, GET /v1/stats, GET /healthz.
@@ -67,11 +67,12 @@ func run(args []string, out io.Writer) error {
 func newServer(args []string) (*service.Server, string, error) {
 	fs := flag.NewFlagSet("dsdd", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		workers    = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
-		timeout    = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
-		allowPaths = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
-		graphs     graphSpecs
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+		algoWorkers = fs.Int("algo-workers", 0, "parallel workers inside each core-exact query (0 = GOMAXPROCS/workers, 1 = serial)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
+		allowPaths  = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
+		graphs      graphSpecs
 	)
 	fs.Var(&graphs, "graph", "preload a graph as name=edge-list-path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -84,7 +85,11 @@ func newServer(args []string) (*service.Server, string, error) {
 			return nil, "", err
 		}
 	}
-	srv := service.NewServer(reg, service.Config{Workers: *workers, Timeout: *timeout})
+	srv := service.NewServer(reg, service.Config{
+		Workers:     *workers,
+		AlgoWorkers: *algoWorkers,
+		Timeout:     *timeout,
+	})
 	if *allowPaths {
 		srv.AllowPathRegistration()
 	}

@@ -153,20 +153,82 @@ func PatternDensest(g *Graph, p *Pattern, algo Algo) (*Result, error) {
 	return nil, fmt.Errorf("dsd: unknown algorithm %q", algo)
 }
 
-// CliqueDensestContext is CliqueDensest bounded by ctx: it returns
-// ctx.Err() as soon as ctx is cancelled or times out, even if the
-// algorithm is still running. The paper's algorithms are not preemptible
-// mid-flow, so on early return the computation finishes (and is discarded)
-// on a background goroutine; callers that share a graph across queries
-// (e.g. the dsdd service) rely on the algorithms being read-only on g.
-func CliqueDensestContext(ctx context.Context, g *Graph, h int, algo Algo) (*Result, error) {
-	return await(ctx, func() (*Result, error) { return CliqueDensest(g, h, algo) })
+// Config configures a densest-subgraph computation beyond the algorithm
+// choice. The zero value selects AlgoCoreExact, serial execution, and the
+// default prunings.
+type Config struct {
+	// Algo selects the algorithm ("" = AlgoCoreExact).
+	Algo Algo
+	// Workers bounds intra-run parallelism for algorithms with a parallel
+	// engine (currently core-exact, whose per-component binary searches
+	// run on a worker pool sharing the lower bound). Values ≤ 1 run
+	// serially; pass runtime.GOMAXPROCS(0) for full parallelism. The
+	// returned density is identical for every value.
+	Workers int
+	// Core overrides CoreExact's pruning options (nil = DefaultOptions).
+	// Its Workers field is ignored in favor of Config.Workers.
+	Core *CoreExactOptions
 }
 
-// PatternDensestContext is PatternDensest bounded by ctx; see
-// CliqueDensestContext for the cancellation contract.
+// coreOptions resolves the effective CoreExact options.
+func (c Config) coreOptions() core.Options {
+	opts := core.DefaultOptions()
+	if c.Core != nil {
+		opts = *c.Core
+	}
+	opts.Workers = c.Workers
+	return opts
+}
+
+// algo resolves the effective algorithm.
+func (c Config) algo() Algo {
+	if c.Algo == "" {
+		return AlgoCoreExact
+	}
+	return c.Algo
+}
+
+// CliqueDensestWith is CliqueDensest under a Config, bounded by ctx: it
+// returns ctx.Err() as soon as ctx is cancelled or times out. For
+// core-exact the cancellation is cooperative — the decomposition and
+// every component search poll ctx, so the computation itself stops within
+// one flow solve instead of running to completion. The other algorithms
+// are not preemptible mid-run; their discarded computation finishes on a
+// background goroutine. Callers that share a graph across queries (e.g.
+// the dsdd service) rely on the algorithms being read-only on g.
+func CliqueDensestWith(ctx context.Context, g *Graph, h int, cfg Config) (*Result, error) {
+	if h < 2 || h > 8 {
+		return nil, fmt.Errorf("dsd: clique size h=%d out of supported range [2,8]", h)
+	}
+	if cfg.algo() == AlgoCoreExact {
+		return await(ctx, func() (*Result, error) {
+			return core.CoreExactCtx(ctx, g, h, cfg.coreOptions())
+		})
+	}
+	return await(ctx, func() (*Result, error) { return CliqueDensest(g, h, cfg.algo()) })
+}
+
+// PatternDensestWith is PatternDensest under a Config, bounded by ctx;
+// see CliqueDensestWith for the cancellation contract.
+func PatternDensestWith(ctx context.Context, g *Graph, p *Pattern, cfg Config) (*Result, error) {
+	if cfg.algo() == AlgoCoreExact {
+		return await(ctx, func() (*Result, error) {
+			return core.CorePExactCtx(ctx, g, p, cfg.coreOptions())
+		})
+	}
+	return await(ctx, func() (*Result, error) { return PatternDensest(g, p, cfg.algo()) })
+}
+
+// CliqueDensestContext is CliqueDensestWith with a bare algorithm choice
+// and serial execution.
+func CliqueDensestContext(ctx context.Context, g *Graph, h int, algo Algo) (*Result, error) {
+	return CliqueDensestWith(ctx, g, h, Config{Algo: algo})
+}
+
+// PatternDensestContext is PatternDensestWith with a bare algorithm
+// choice and serial execution.
 func PatternDensestContext(ctx context.Context, g *Graph, p *Pattern, algo Algo) (*Result, error) {
-	return await(ctx, func() (*Result, error) { return PatternDensest(g, p, algo) })
+	return PatternDensestWith(ctx, g, p, Config{Algo: algo})
 }
 
 // await runs fn on its own goroutine and returns its result, unless ctx

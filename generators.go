@@ -32,6 +32,17 @@ func GenerateCollaboration(authors, papers, maxAuthors int, seed int64) *Graph {
 	return gen.Collaboration(authors, papers, maxAuthors, seed)
 }
 
+// GenerateMultiCommunity builds the deterministic multi-component stress
+// instance for CoreExact's component loop (triangle density): k
+// fringed-clique communities whose located-core component-density order
+// is the reverse of their optimum order, so the serial engine fully
+// searches community after community while the parallel engine's shared
+// bound aborts most of those searches. See gen.MultiCommunity for the
+// construction and its parameter constraints.
+func GenerateMultiCommunity(k, cliqueSize, fringe, fringeBase, padSize, padPerRank int) *Graph {
+	return gen.MultiCommunity(k, cliqueSize, fringe, fringeBase, padSize, padPerRank)
+}
+
 // GeneratePPI samples a yeast-style protein-interaction network with
 // planted functional modules of different shapes; it returns the graph and
 // the planted module vertex sets (near-clique, hub, cycle-rich).

@@ -29,8 +29,6 @@ func (l *Lister) DegreesParallel(h int, workers int) []int64 {
 	}
 	partial := make([][]int64, workers)
 	var wg sync.WaitGroup
-	var next int64
-	_ = next
 	// Static striping: worker w handles roots v ≡ w (mod workers). Roots
 	// near the front of the degeneracy order have larger out-neighborhoods,
 	// so striping balances better than contiguous blocks.

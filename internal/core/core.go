@@ -12,6 +12,7 @@
 //
 //	exact.go      Exact / PExact: flow-network binary search (Alg. 1, 8)
 //	coreexact.go  CoreExact / CorePExact with Pruning1-3 and construct+
+//	parallel.go   worker pool + shared monotone bound for CoreExact
 //	approx.go     PeelApp, IncApp, CoreApp, Nucleus wrappers
 //	anchored.go   QueryDensest (§6.3 variant)
 //	batchpeel.go  BatchPeel [6] and PeelAppAtLeast [3]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -13,7 +14,8 @@ import (
 )
 
 // Options selects CoreExact's pruning strategies (Figure 10 ablates them
-// individually). DefaultOptions enables everything.
+// individually) and its execution mode. DefaultOptions enables every
+// pruning and runs serially.
 type Options struct {
 	// Pruning1 locates the CDS in the (⌈ρ′⌉,Ψ)-core, where ρ′ is the best
 	// residual density observed during core decomposition. When disabled,
@@ -28,9 +30,18 @@ type Options struct {
 	// Grouped uses the construct+ grouped flow network (Algorithm 7);
 	// meaningful for non-clique patterns only.
 	Grouped bool
+	// Workers bounds how many per-component binary searches (Algorithm 4
+	// lines 5-20) run concurrently; values ≤ 1 run the engine serially.
+	// Workers > 1 also parallelizes the clique-degree seeding of the
+	// (k,Ψ)-core decomposition and Pruning2's per-component density
+	// evaluation. The returned density is identical for every value: the
+	// searches share a mutex-protected monotone lower bound, so sharing
+	// only ever prunes work, never answers.
+	Workers int
 }
 
-// DefaultOptions is full CoreExact: all prunings on, construct+ on.
+// DefaultOptions is full CoreExact: all prunings on, construct+ on,
+// serial execution.
 func DefaultOptions() Options {
 	return Options{Pruning1: true, Pruning2: true, Pruning3: true, Grouped: true}
 }
@@ -43,32 +54,57 @@ func CoreExact(g *graph.Graph, h int) *Result {
 
 // CoreExactOpts runs CoreExact with explicit pruning options.
 func CoreExactOpts(g *graph.Graph, h int, opts Options) *Result {
-	return coreExactDriver(g, motif.Clique{H: h}, opts)
+	res, _ := coreExactDriver(context.Background(), g, motif.Clique{H: h}, opts)
+	return res
+}
+
+// CoreExactCtx runs CoreExact bounded by ctx: the decomposition and every
+// component search poll ctx and return (nil, ctx.Err()) once it is
+// cancelled, so a caller's cancellation stops the work instead of letting
+// it run to completion. Cancellation is cooperative at flow-solve
+// granularity: the algorithm returns after at most one more min-cut.
+func CoreExactCtx(ctx context.Context, g *graph.Graph, h int, opts Options) (*Result, error) {
+	return coreExactDriver(ctx, g, motif.Clique{H: h}, opts)
 }
 
 // CorePExact is the core-based exact PDS algorithm (Section 7.2): the
 // CoreExact skeleton over pattern cores with the construct+ network.
 func CorePExact(g *graph.Graph, p *pattern.Pattern) *Result {
-	return coreExactDriver(g, motif.For(p), DefaultOptions())
+	return CorePExactOpts(g, p, DefaultOptions())
 }
 
 // CorePExactOpts runs CorePExact with explicit options.
 func CorePExactOpts(g *graph.Graph, p *pattern.Pattern, opts Options) *Result {
-	return coreExactDriver(g, motif.For(p), opts)
+	res, _ := coreExactDriver(context.Background(), g, motif.For(p), opts)
+	return res
 }
 
-func coreExactDriver(g *graph.Graph, o motif.Oracle, opts Options) *Result {
+// CorePExactCtx runs CorePExact bounded by ctx; see CoreExactCtx for the
+// cancellation contract.
+func CorePExactCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Options) (*Result, error) {
+	return coreExactDriver(ctx, g, motif.For(p), opts)
+}
+
+func coreExactDriver(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Options) (*Result, error) {
 	start := time.Now()
 	var stats Stats
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 
-	// Step 1: (k,Ψ)-core decomposition (Algorithm 4 line 1).
-	dec := psicore.Decompose(g, o)
+	// Step 1: (k,Ψ)-core decomposition (Algorithm 4 line 1), with the
+	// clique-degree seeding striped across workers when parallel.
+	dec, err := psicore.DecomposeContext(ctx, g, o, workers)
+	if err != nil {
+		return nil, err
+	}
 	stats.Decompose = time.Since(start)
 	if dec.TotalInstances == 0 {
 		r := &Result{}
 		r.Stats = stats
 		r.Stats.Total = time.Since(start)
-		return r
+		return r, nil
 	}
 	p := int64(o.Size())
 
@@ -84,11 +120,10 @@ func coreExactDriver(g *graph.Graph, o motif.Oracle, opts Options) *Result {
 	} else {
 		witness = dec.KMaxCoreVertices()
 		lower, _ = densityOf(g, o, witness)
-		// Theorem 1 guarantees ρ(R_kmax) ≥ kmax/|VΨ|; the exact density of
-		// the witness is at least that and costs one count.
-		if thm1 := rational.New(dec.KMax, p); thm1.Greater(lower) {
-			lower = thm1 // cannot happen, kept as a guard
-		}
+		// Theorem 1 guarantees ρ(R_kmax) ≥ kmax/|VΨ|, so the witness's
+		// exact density already dominates the kmax/p bound: witness and
+		// lower stay consistent by construction (asserted by
+		// TestTheorem1BoundImpliedByKMaxCore).
 	}
 	kLocate := lower.Ceil()
 	coreVerts := dec.CoreVertices(kLocate)
@@ -112,15 +147,20 @@ func coreExactDriver(g *graph.Graph, o motif.Oracle, opts Options) *Result {
 		}
 		components = append(components, orig)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	// Pruning2: per-component densities refine k″ and the witness.
+	// Pruning2: per-component densities refine k″ and the witness. The
+	// densities are independent Ψ-counts, evaluated across the pool.
 	if opts.Pruning2 {
 		dens := make([]rational.R, len(components))
+		runIndexed(workers, len(components), func(i int) {
+			dens[i], _ = densityOf(g, o, components[i])
+		})
 		for i, c := range components {
-			d, _ := densityOf(g, o, c)
-			dens[i] = d
-			if d.Greater(lower) {
-				lower = d
+			if dens[i].Greater(lower) {
+				lower = dens[i]
 				witness = c
 			}
 		}
@@ -153,78 +193,145 @@ func coreExactDriver(g *graph.Graph, o motif.Oracle, opts Options) *Result {
 	globalStop := 1.0 / (float64(n) * float64(n-1))
 
 	// Step 3: per-component binary search with shrinking flow networks
-	// (lines 5-20).
-	for _, comp := range components {
-		cur := comp
-		curK := kLocate
-		// Shrink by the global lower bound before building anything
-		// (line 6).
-		if lk := lower.Ceil(); lk > curK {
-			cur = filterCore(cur, dec, lk)
-			curK = lk
-		}
-		if int64(len(cur)) < p {
-			continue
-		}
-		sub := g.Induced(cur)
-		sd := makeSide(sub.Graph, o, opts.Grouped)
-
-		// Feasibility probe at α = l (lines 7-9): skip the component if
-		// nothing in it beats the current witness.
-		net := sd.Build(lower.Float())
-		stats.FlowNodes = append(stats.FlowNodes, sd.Nodes())
-		stats.Iterations++
-		vs := net.SolveVertices()
-		if len(vs) == 0 {
-			continue
-		}
-		best := toOrig(sub, vs)
-
-		lc := lower.Float()
-		uc := float64(dec.KMax)
-		for {
-			stop := globalStop
-			if opts.Pruning3 {
-				vc := float64(sub.N())
-				stop = 1.0 / (vc * (vc - 1))
-			}
-			if uc-lc < stop {
-				break
-			}
-			alpha := (lc + uc) / 2
-			net = sd.Build(alpha)
-			stats.FlowNodes = append(stats.FlowNodes, sd.Nodes())
-			stats.Iterations++
-			vs = net.SolveVertices()
-			if len(vs) == 0 {
-				uc = alpha
-				continue
-			}
-			lc = alpha
-			best = toOrig(sub, vs)
-			// Relocate in a higher core once the bound crosses an integer
-			// boundary (line 17, §6.1 ③): networks shrink monotonically.
-			if lk := int64(math.Ceil(alpha)); lk > curK {
-				shrunk := filterCore(cur, dec, lk)
-				if int64(len(shrunk)) >= p && len(shrunk) < len(cur) {
-					cur = shrunk
-					curK = lk
-					sub = g.Induced(cur)
-					sd = makeSide(sub.Graph, o, opts.Grouped)
-				}
-			}
-		}
-		if d, _ := densityOf(g, o, best); d.Greater(lower) {
-			lower = d
-			witness = best
+	// (lines 5-20). The searches share the (lower, witness) pair through
+	// a monotone cell: an improvement published by one component
+	// immediately raises the probe threshold, shrinks the cores, and
+	// arms the can't-beat abort of every other component, whether they
+	// run on this goroutine or across the worker pool.
+	cell := &boundCell{lower: lower, witness: witness}
+	perComp := make([]compStats, len(components))
+	errs := make([]error, len(components))
+	runIndexed(workers, len(components), func(i int) {
+		perComp[i], errs[i] = searchComponent(
+			ctx, g, o, dec, opts, cell, components[i], kLocate, globalStop, p)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
+	for _, cs := range perComp {
+		stats.FlowNodes = append(stats.FlowNodes, cs.flowNodes...)
+		stats.Iterations += cs.iterations
+	}
 
+	_, witness = cell.snapshot()
 	res := evaluate(g, o, witness)
 	res.Stats = stats
-	res.Stats.Decompose = stats.Decompose
 	res.Stats.Total = time.Since(start)
-	return res
+	return res, nil
+}
+
+// compStats is the per-component slice of Stats, merged in component
+// order after the searches so the aggregate is independent of scheduling.
+type compStats struct {
+	flowNodes  []int
+	iterations int
+}
+
+// searchComponent runs the shrinking-flow binary search of Algorithm 4
+// lines 5-20 on one connected component of the located core. It reads the
+// shared bound at every iteration and publishes every witness improvement
+// as soon as its exact density is known.
+//
+// Exactness under sharing: lc is only ever a value at which THIS
+// component produced a witness (the probe or a feasible α), so the
+// Lemma-12 spacing argument that the final witness is the component
+// optimum is untouched. The shared bound is used three ways, each
+// conservative: as the probe threshold (a density of a real subgraph,
+// hence ≤ ρopt), to shrink to a higher core (a subgraph beating density d
+// lies in the ⌈d⌉-core), and to abort when bound ≥ uc (no subgraph of the
+// component exceeds uc, so none strictly beats the bound). The abort
+// comparison is exact — rational vs. dyadic float via R.CmpFloat — never
+// a rounded float compare.
+func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition,
+	opts Options, cell *boundCell, comp []int32, kLocate int64, globalStop float64, p int64) (compStats, error) {
+	var cs compStats
+	if err := ctx.Err(); err != nil {
+		return cs, err
+	}
+	lower := cell.get()
+	cur := comp
+	curK := kLocate
+	// Shrink by the shared lower bound before building anything (line 6).
+	if lk := lower.Ceil(); lk > curK {
+		cur = filterCore(cur, dec, lk)
+		curK = lk
+	}
+	if int64(len(cur)) < p {
+		return cs, nil
+	}
+	sub := g.Induced(cur)
+	sd := makeSide(sub.Graph, o, opts.Grouped)
+
+	// Feasibility probe at α = l (lines 7-9): skip the component if
+	// nothing in it beats the current witness.
+	net := sd.Build(lower.Float())
+	cs.flowNodes = append(cs.flowNodes, sd.Nodes())
+	cs.iterations++
+	vs := net.SolveVertices()
+	if len(vs) == 0 {
+		return cs, nil
+	}
+	best := toOrig(sub, vs)
+	if d, _ := densityOf(g, o, best); d.Greater(lower) {
+		cell.improve(d, best)
+	}
+
+	lc := lower.Float()
+	uc := float64(dec.KMax)
+	for {
+		if err := ctx.Err(); err != nil {
+			return cs, err
+		}
+		shared := cell.get()
+		// Can't-beat abort: everything in this component has density
+		// ≤ uc; once the shared bound reaches uc nothing here can
+		// strictly improve the answer, so drop the remaining iterations.
+		if shared.CmpFloat(uc) >= 0 {
+			return cs, nil
+		}
+		stop := globalStop
+		if opts.Pruning3 {
+			vc := float64(sub.N())
+			stop = 1.0 / (vc * (vc - 1))
+		}
+		if uc-lc < stop {
+			break
+		}
+		alpha := (lc + uc) / 2
+		net = sd.Build(alpha)
+		cs.flowNodes = append(cs.flowNodes, sd.Nodes())
+		cs.iterations++
+		vs = net.SolveVertices()
+		if len(vs) == 0 {
+			uc = alpha
+			continue
+		}
+		lc = alpha
+		best = toOrig(sub, vs)
+		// Publish the improvement now, not at component end: its exact
+		// density immediately tightens every sibling search.
+		d, _ := densityOf(g, o, best)
+		cell.improve(d, best)
+		// Relocate in a higher core once either the local α or the
+		// shared bound crosses an integer boundary (line 17, §6.1 ③):
+		// networks shrink monotonically.
+		lk := int64(math.Ceil(alpha))
+		if sk := shared.Ceil(); sk > lk {
+			lk = sk
+		}
+		if lk > curK {
+			shrunk := filterCore(cur, dec, lk)
+			if int64(len(shrunk)) >= p && len(shrunk) < len(cur) {
+				cur = shrunk
+				curK = lk
+				sub = g.Induced(cur)
+				sd = makeSide(sub.Graph, o, opts.Grouped)
+			}
+		}
+	}
+	return cs, nil
 }
 
 // filterCore keeps the vertices of vs whose Ψ-core number is ≥ k.

@@ -36,6 +36,9 @@ type Config struct {
 	InstanceBudget int64
 	// Quick shrinks workloads for smoke tests and benchmarks.
 	Quick bool
+	// Workers is the parallel arm measured by the perf suite against the
+	// serial engine (0 = the reference arm of 4, matching the CI gate).
+	Workers int
 }
 
 // DefaultConfig returns the full-harness configuration.
@@ -91,6 +94,7 @@ func All() []Experiment {
 		{"fig17", "Figure 17: densest subgraphs in the DBLP network", RunFig17},
 		{"fig20", "Figure 20: approximation CDS on additional datasets", RunFig20},
 		{"fig21", "Figure 21: PDS's in the yeast PPI network", RunFig21},
+		{"perfsuite", "Perf suite: serial vs parallel engines (BENCH_*.json)", RunPerfSuite},
 	}
 }
 

@@ -39,8 +39,8 @@ func TestAllExperimentsSmoke(t *testing.T) {
 
 func TestGetAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(all))
 	}
 	for _, e := range all {
 		got, err := Get(e.ID)

@@ -1,0 +1,109 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// perfCfg is a minimal configuration so the suite runs at test speed.
+func perfCfg() Config {
+	c := QuickConfig(io.Discard)
+	c.Workers = 2
+	return c
+}
+
+// TestPerfSuiteReportRoundTrip runs the suite, checks the headline
+// invariants, and round-trips the JSON through the validator — the same
+// gate CI applies to the uploaded BENCH_*.json artifact.
+func TestPerfSuiteReportRoundTrip(t *testing.T) {
+	rep, err := PerfSuiteReport(perfCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema || rep.Suite != "perfsuite" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Cases) < 4 {
+		t.Fatalf("only %d cases", len(rep.Cases))
+	}
+	sawParallel := false
+	for _, c := range rep.Cases {
+		if c.ParallelNsOp > 0 {
+			sawParallel = true
+			if c.DensityMatch == nil || !*c.DensityMatch {
+				t.Fatalf("case %q: parallel arm does not match serial", c.Name)
+			}
+		}
+	}
+	if !sawParallel {
+		t.Fatal("no parallel arm measured")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(buf.Bytes()); err != nil {
+		t.Fatalf("emitted report does not validate: %v", err)
+	}
+}
+
+// TestValidateBenchReportRejects walks the validator through the failure
+// modes CI must catch.
+func TestValidateBenchReportRejects(t *testing.T) {
+	tr := true
+	fa := false
+	good := BenchReport{
+		Schema:  BenchSchema,
+		Suite:   "perfsuite",
+		Workers: 4,
+		Cases: []BenchCase{{
+			Name: "x", Algo: "core-exact", SerialNsOp: 10,
+			ParallelNsOp: 5, Workers: 4, Speedup: 2, DensityMatch: &tr,
+		}},
+	}
+	mutate := func(fn func(*BenchReport)) []byte {
+		r := good
+		r.Cases = append([]BenchCase(nil), good.Cases...)
+		fn(&r)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	data, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(data); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"bad schema", mutate(func(r *BenchReport) { r.Schema = "v0" }), "schema"},
+		{"no cases", mutate(func(r *BenchReport) { r.Cases = nil }), "no cases"},
+		{"no workers", mutate(func(r *BenchReport) { r.Workers = 0 }), "workers"},
+		{"zero serial", mutate(func(r *BenchReport) { r.Cases[0].SerialNsOp = 0 }), "serial_ns_op"},
+		{"no speedup", mutate(func(r *BenchReport) { r.Cases[0].Speedup = 0 }), "speedup"},
+		{"density mismatch", mutate(func(r *BenchReport) { r.Cases[0].DensityMatch = &fa }), "does not match"},
+		{"unknown field", []byte(`{"schema":"dsd-bench/v1","bogus":1}`), "bogus"},
+		{"not json", []byte("perf went great"), "bench report"},
+	}
+	for _, c := range cases {
+		err := ValidateBenchReport(c.data)
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

@@ -192,6 +192,75 @@ func ChungLu(n, m int, alpha float64, seed int64) *graph.Graph {
 	return b.Build()
 }
 
+// MultiCommunity generates a deterministic multi-component stress
+// instance for CoreExact's per-component binary search (triangle density,
+// h = 3): k disjoint communities, where community i is
+//
+//   - a "kernel" clique K_cliqueSize,
+//   - fringe extra vertices, each adjacent to fringeBase+i kernel
+//     vertices — the fringe's triangle degree C(fringeBase+i, 2) exceeds
+//     the bare clique's triangle density, so the community's densest
+//     subgraph is kernel+fringe, strictly denser for larger i, and
+//   - i·padPerRank padding cliques K_padSize, each bridged to the kernel
+//     by one (triangle-free) edge.
+//
+// The construction defeats both of CoreExact's cheap bounds at once.
+// Peeling removes every community's fringe before any kernel clique (the
+// fringe's triangle degree is far below a clique member's), so no
+// residual subgraph ever shows a community's true density and Pruning 1's
+// l stays near the bare-clique density — below k communities' optima.
+// The padding is dense enough to survive the located core (its triangle
+// core number is C(padSize−1,2)) but sparser than any kernel, and
+// stronger communities carry more of it, so the whole-component density
+// order — the order Pruning 2 searches components in — is the reverse of
+// the optimum order, and the serial engine must fully binary-search
+// community after community, each marginally raising l. The parallel
+// engine searches them concurrently and shares every improvement, so
+// most of those searches abort early: same exact answer, a fraction of
+// the flow solves.
+//
+// Callers should keep fringeBase+k−1 < cliqueSize and
+// C(fringeBase,2) > C(cliqueSize,3)/cliqueSize (fringe improves the
+// kernel), and C(padSize−1,2) above the union's peak residual density
+// (padding survives location); the defaults in the perf suite satisfy
+// all three with a wide margin.
+func MultiCommunity(k, cliqueSize, fringe, fringeBase, padSize, padPerRank int) *graph.Graph {
+	n := 0
+	for i := 0; i < k; i++ {
+		n += cliqueSize + fringe + i*padPerRank*padSize
+	}
+	b := graph.NewBuilder(n)
+	next := 0
+	for i := 0; i < k; i++ {
+		base := next
+		for x := 0; x < cliqueSize; x++ {
+			for y := x + 1; y < cliqueSize; y++ {
+				b.AddEdge(base+x, base+y)
+			}
+		}
+		next += cliqueSize
+		t := fringeBase + i
+		for f := 0; f < fringe; f++ {
+			// Spread fringe anchors around the kernel so no kernel vertex
+			// collects every fringe edge.
+			for x := 0; x < t; x++ {
+				b.AddEdge(next, base+(f+x)%cliqueSize)
+			}
+			next++
+		}
+		for c := 0; c < i*padPerRank; c++ {
+			for x := 0; x < padSize; x++ {
+				for y := x + 1; y < padSize; y++ {
+					b.AddEdge(next+x, next+y)
+				}
+			}
+			b.AddEdge(next, base) // triangle-free bridge into the kernel
+			next += padSize
+		}
+	}
+	return b.Build()
+}
+
 // Collaboration generates a DBLP-style co-authorship network: papers are
 // cliques of 2..maxAuthors authors; author popularity is Zipf-skewed so a
 // few "senior" authors join many papers. This reproduces the structure

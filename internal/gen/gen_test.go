@@ -3,6 +3,8 @@ package gen
 import (
 	"math"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func TestERDeterministic(t *testing.T) {
@@ -156,4 +158,41 @@ func TestPlantedPPIModules(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestMultiCommunity(t *testing.T) {
+	const k, clique, fringe, fringeBase, padSize, padPerRank = 4, 10, 3, 5, 6, 2
+	g := MultiCommunity(k, clique, fringe, fringeBase, padSize, padPerRank)
+	// Deterministic: the construction has no randomness.
+	g2 := MultiCommunity(k, clique, fringe, fringeBase, padSize, padPerRank)
+	if g.N() != g2.N() || g.M() != g2.M() {
+		t.Fatalf("not deterministic: (%d,%d) vs (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+	}
+	// Vertex count: per community i, clique + fringe + i·padPerRank·padSize.
+	wantN, wantM := 0, 0
+	for i := 0; i < k; i++ {
+		pads := i * padPerRank
+		wantN += clique + fringe + pads*padSize
+		t := fringeBase + i
+		wantM += clique*(clique-1)/2 + fringe*t + pads*(padSize*(padSize-1)/2+1)
+	}
+	if g.N() != wantN {
+		t.Fatalf("n = %d, want %d", g.N(), wantN)
+	}
+	if g.M() != wantM {
+		t.Fatalf("m = %d, want %d", g.M(), wantM)
+	}
+	// Exactly k connected components, with sizes ascending in i.
+	comps := g.Induced(allVertices(g)).ConnectedComponents()
+	if len(comps) != k {
+		t.Fatalf("components = %d, want %d", len(comps), k)
+	}
+}
+
+func allVertices(g *graph.Graph) []int32 {
+	vs := make([]int32, g.N())
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
 }

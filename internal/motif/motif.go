@@ -30,6 +30,16 @@ type Oracle interface {
 	OnRemove(st *State, v int, dec func(u int, delta int64)) int64
 }
 
+// ParallelCounter is the optional fast path of an Oracle whose
+// CountAndDegrees has a shared-memory parallel form. Implementations must
+// return exactly the same values as CountAndDegrees; callers fall back to
+// the serial count when the oracle does not implement it or workers ≤ 1.
+type ParallelCounter interface {
+	// CountAndDegreesParallel is CountAndDegrees over the given number of
+	// workers (values ≤ 0 mean GOMAXPROCS).
+	CountAndDegreesParallel(g *graph.Graph, workers int) (int64, []int64)
+}
+
 // State is the residual graph of a peeling run: the alive set plus the
 // alive-restricted classical degrees that the Appendix-D fast counters
 // need.
@@ -122,6 +132,21 @@ func (c Clique) CountAndDegrees(g *graph.Graph) (int64, []int64) {
 		}
 	})
 	return total, deg
+}
+
+// CountAndDegreesParallel implements ParallelCounter with the striped
+// kClist enumerator: every h-clique contributes h to the degree sum, so
+// µ is recovered from the parallel degrees without a second pass.
+func (c Clique) CountAndDegreesParallel(g *graph.Graph, workers int) (int64, []int64) {
+	if c.H == 2 || workers == 1 {
+		return c.CountAndDegrees(g)
+	}
+	deg := clique.NewLister(g).DegreesParallel(c.H, workers)
+	var sum int64
+	for _, d := range deg {
+		sum += d
+	}
+	return sum / int64(c.H), deg
 }
 
 // OnRemove implements Oracle by enumerating the cliques that contain v

@@ -6,6 +6,8 @@
 package psicore
 
 import (
+	"context"
+
 	"repro/internal/bucketq"
 	"repro/internal/graph"
 	"repro/internal/motif"
@@ -38,9 +40,39 @@ type Decomposition struct {
 // numbers, peel order and residual-density tracking. It is Algorithm 3
 // with the bookkeeping CoreExact and PeelApp need layered on top.
 func Decompose(g *graph.Graph, o motif.Oracle) *Decomposition {
+	d, _ := DecomposeContext(context.Background(), g, o, 1)
+	return d
+}
+
+// DecomposeWorkers is Decompose with the clique-degree seeding (the
+// CountAndDegrees call that initializes the bucket queue) computed on
+// workers goroutines when the oracle supports it. The peel itself is
+// inherently sequential; the seeding is the enumeration-heavy prefix.
+// Core numbers are identical to Decompose's for any workers value.
+func DecomposeWorkers(g *graph.Graph, o motif.Oracle, workers int) *Decomposition {
+	d, _ := DecomposeContext(context.Background(), g, o, workers)
+	return d
+}
+
+// ctxCheckStride is how many peel steps run between context polls: cheap
+// enough to be invisible, frequent enough that cancellation is prompt.
+const ctxCheckStride = 1024
+
+// DecomposeContext is DecomposeWorkers bounded by ctx: the peel loop
+// polls ctx every ctxCheckStride removals and returns (nil, ctx.Err())
+// once it is cancelled. The seeding count itself is not interruptible.
+func DecomposeContext(ctx context.Context, g *graph.Graph, o motif.Oracle, workers int) (*Decomposition, error) {
 	n := g.N()
 	st := motif.NewState(g)
-	total, deg := o.CountAndDegrees(g)
+	var (
+		total int64
+		deg   []int64
+	)
+	if pc, ok := o.(motif.ParallelCounter); ok && workers > 1 {
+		total, deg = pc.CountAndDegreesParallel(g, workers)
+	} else {
+		total, deg = o.CountAndDegrees(g)
+	}
 	q := bucketq.New(deg)
 	d := &Decomposition{
 		Core:           make([]int64, n),
@@ -53,7 +85,12 @@ func Decompose(g *graph.Graph, o motif.Oracle) *Decomposition {
 	d.BestResidualMu = mu
 	d.BestResidualStart = 0
 	cur := int64(0)
-	for {
+	for steps := 0; ; steps++ {
+		if steps%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		v, k, ok := q.PopMin()
 		if !ok {
 			break
@@ -80,7 +117,7 @@ func Decompose(g *graph.Graph, o motif.Oracle) *Decomposition {
 			}
 		}
 	}
-	return d
+	return d, nil
 }
 
 // CoreVertices returns the vertices of the (k,Ψ)-core: those with core

@@ -1,0 +1,55 @@
+package psicore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/motif"
+)
+
+// TestDecomposeWorkersMatchesSerial checks the parallel clique-degree
+// seeding: DecomposeWorkers must reproduce Decompose exactly — core
+// numbers, kmax, peel bookkeeping — for any worker count, because the
+// parallelism only touches how the initial degrees are counted.
+func TestDecomposeWorkersMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := gen.ChungLu(120, 600, 2.4, seed)
+		for h := 2; h <= 4; h++ {
+			o := motif.Clique{H: h}
+			want := Decompose(g, o)
+			for _, workers := range []int{2, 4, 7} {
+				got := DecomposeWorkers(g, o, workers)
+				if got.KMax != want.KMax {
+					t.Fatalf("seed %d h=%d workers=%d: kmax %d, want %d",
+						seed, h, workers, got.KMax, want.KMax)
+				}
+				if got.TotalInstances != want.TotalInstances {
+					t.Fatalf("seed %d h=%d workers=%d: µ %d, want %d",
+						seed, h, workers, got.TotalInstances, want.TotalInstances)
+				}
+				if got.BestResidual.Cmp(want.BestResidual) != 0 {
+					t.Fatalf("seed %d h=%d workers=%d: best residual %v, want %v",
+						seed, h, workers, got.BestResidual, want.BestResidual)
+				}
+				for v := range want.Core {
+					if got.Core[v] != want.Core[v] {
+						t.Fatalf("seed %d h=%d workers=%d: core[%d] = %d, want %d",
+							seed, h, workers, v, got.Core[v], want.Core[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecomposeContextCancelled checks that a dead context stops the peel
+// loop instead of letting it run to completion.
+func TestDecomposeContextCancelled(t *testing.T) {
+	g := gen.ChungLu(200, 1000, 2.4, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if d, err := DecomposeContext(ctx, g, motif.Clique{H: 3}, 1); err != context.Canceled || d != nil {
+		t.Fatalf("DecomposeContext on dead ctx: (%v, %v), want (nil, context.Canceled)", d, err)
+	}
+}

@@ -87,6 +87,37 @@ func (r R) Cmp(s R) int {
 	return cmpInt64(r.Num*s.Den, s.Num*r.Den)
 }
 
+// CmpFloat compares r with the exact real value of f, returning -1, 0 or
+// +1. A float64 is a dyadic rational, so the comparison is performed
+// exactly via math/big; no rounding of r to float64 is involved. The
+// parallel CoreExact engine relies on this to abort a component search
+// only when the shared lower bound provably dominates the component's
+// remaining range (comparing r.Float() ≥ f could err by an ulp and
+// discard a strictly better optimum). NaN compares as +Inf would: above
+// every finite density.
+func (r R) CmpFloat(f float64) int {
+	if math.IsNaN(f) || math.IsInf(f, 1) {
+		return -1
+	}
+	if math.IsInf(f, -1) {
+		return 1
+	}
+	if r.Den == 0 {
+		// Empty density: below every positive value, equal to 0.
+		switch {
+		case f > 0:
+			return -1
+		case f < 0:
+			return 1
+		default:
+			return 0
+		}
+	}
+	rf := new(big.Rat).SetFrac64(r.Num, r.Den)
+	ff := new(big.Rat).SetFloat64(f)
+	return rf.Cmp(ff)
+}
+
 // Less reports r < s exactly.
 func (r R) Less(s R) bool { return r.Cmp(s) < 0 }
 

@@ -114,6 +114,49 @@ func TestCmpAgreesWithFloat(t *testing.T) {
 	}
 }
 
+func TestCmpFloat(t *testing.T) {
+	cases := []struct {
+		r    R
+		f    float64
+		want int
+	}{
+		{New(1, 2), 0.5, 0},                  // 0.5 is exact in binary
+		{New(1, 3), 0.3333333333333333, 1},   // nearest double to 1/3 is below it
+		{New(2, 3), 0.6666666666666666, 1},   // and to 2/3 as well
+		{New(1, 3), 0.33333333333333337, -1}, // one ulp up crosses 1/3
+		{New(912, 60), 15.2, 1},              // 15.2 rounds down in binary
+		{New(3, 2), 1.0, 1},
+		{New(3, 2), 2.0, -1},
+		{Zero, 0, 0},
+		{Zero, 1e-300, -1},
+		{Zero, -1, 1},
+		{New(1, 1), math.Inf(1), -1},
+		{New(1, 1), math.Inf(-1), 1},
+		{New(1, 1), math.NaN(), -1}, // NaN ranks like +Inf: never "dominated"
+	}
+	for _, c := range cases {
+		if got := c.r.CmpFloat(c.f); got != c.want {
+			t.Errorf("CmpFloat(%v, %v) = %d, want %d", c.r, c.f, got, c.want)
+		}
+	}
+}
+
+// TestCmpFloatAgainstBig cross-checks CmpFloat with the float comparison
+// on pairs where the float comparison is trustworthy (far apart).
+func TestCmpFloatAgainstBig(t *testing.T) {
+	f := func(num uint16, den uint8, shift int8) bool {
+		r := New(int64(num), int64(den)+1)
+		v := r.Float() + float64(shift)
+		if math.Abs(float64(shift)) < 1 {
+			return true
+		}
+		return (r.CmpFloat(v) < 0) == (r.Float() < v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestString(t *testing.T) {
 	if Zero.String() != "0" {
 		t.Fatalf("Zero.String() = %q", Zero.String())

@@ -22,16 +22,23 @@ type Config struct {
 	// bounds how long that caller waits; the shared computation answers
 	// to this budget alone.
 	Timeout time.Duration
+	// AlgoWorkers bounds intra-query parallelism for algorithms with a
+	// parallel engine (core-exact). 0 derives it from the pool size as
+	// max(1, GOMAXPROCS/Workers), so the query pool and the algorithm
+	// pool compose to ≈ GOMAXPROCS total instead of multiplying; 1
+	// forces serial algorithms regardless of pool size.
+	AlgoWorkers int
 }
 
 // Engine dispatches (graph, pattern, algo) queries to the dsd library
 // through a bounded worker pool, memoizing results in a single-flight
 // cache so concurrent identical queries compute once.
 type Engine struct {
-	reg     *Registry
-	cache   *Cache
-	sem     chan struct{}
-	timeout time.Duration
+	reg         *Registry
+	cache       *Cache
+	sem         chan struct{}
+	timeout     time.Duration
+	algoWorkers int
 
 	queries  atomic.Int64
 	computes atomic.Int64
@@ -45,16 +52,27 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	algoWorkers := cfg.AlgoWorkers
+	if algoWorkers <= 0 {
+		algoWorkers = runtime.GOMAXPROCS(0) / workers
+		if algoWorkers < 1 {
+			algoWorkers = 1
+		}
+	}
 	return &Engine{
-		reg:     reg,
-		cache:   NewCache(),
-		sem:     make(chan struct{}, workers),
-		timeout: cfg.Timeout,
+		reg:         reg,
+		cache:       NewCache(),
+		sem:         make(chan struct{}, workers),
+		timeout:     cfg.Timeout,
+		algoWorkers: algoWorkers,
 	}
 }
 
 // Workers returns the worker-pool bound.
 func (e *Engine) Workers() int { return cap(e.sem) }
+
+// AlgoWorkers returns the per-query intra-algorithm worker budget.
+func (e *Engine) AlgoWorkers() int { return e.algoWorkers }
 
 // Query answers the Ψ-densest-subgraph query (graphName, patternName,
 // algo). ctx and timeout (if positive) bound how long this caller waits;
@@ -117,15 +135,25 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 			res *core.Result
 			err error
 		}
+		// The worker slot is held until the algorithm truly returns, not
+		// until the budget fires. Core-exact honors a context
+		// cooperatively — it stops within one flow solve of the budget
+		// firing, so it may see cctx and release its slot promptly. The
+		// other algorithms are not preemptible: they get a detached
+		// context so the facade blocks until the computation actually
+		// ends, and their timed-out computation keeps occupying a worker
+		// — the Workers bound accounts for it.
+		algoCtx := context.Background()
+		if algo == dsd.AlgoCoreExact {
+			algoCtx = cctx
+		}
 		done := make(chan outcome, 1)
 		go func() {
-			// The worker slot is held until the algorithm truly
-			// returns, not until the budget fires: the paper's
-			// algorithms are not preemptible, so a timed-out
-			// computation still occupies a worker and the Workers
-			// bound must account for it.
 			defer func() { <-e.sem }()
-			r, err := dsd.PatternDensestContext(context.Background(), entry.G, p, algo)
+			r, err := dsd.PatternDensestWith(algoCtx, entry.G, p, dsd.Config{
+				Algo:    algo,
+				Workers: e.algoWorkers,
+			})
 			done <- outcome{r, err}
 		}()
 		select {
@@ -144,12 +172,13 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 // Stats returns the engine's operational counters.
 func (e *Engine) Stats() wire.StatsResponse {
 	return wire.StatsResponse{
-		Graphs:    e.reg.Len(),
-		Workers:   cap(e.sem),
-		Queries:   e.queries.Load(),
-		Computes:  e.computes.Load(),
-		CacheHits: e.hits.Load(),
-		Errors:    e.errors.Load(),
+		Graphs:      e.reg.Len(),
+		Workers:     cap(e.sem),
+		AlgoWorkers: e.algoWorkers,
+		Queries:     e.queries.Load(),
+		Computes:    e.computes.Load(),
+		CacheHits:   e.hits.Load(),
+		Errors:      e.errors.Load(),
 	}
 }
 

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -49,6 +50,38 @@ func TestEngineQueryMatchesLibrary(t *testing.T) {
 	s := e.Stats()
 	if s.Queries != 2 || s.Computes != 1 || s.CacheHits != 1 {
 		t.Fatalf("stats = %+v, want queries=2 computes=1 hits=1", s)
+	}
+}
+
+// TestEngineAlgoWorkersCompose checks the two-pool composition: an
+// explicit AlgoWorkers is honored, and the default derives from
+// GOMAXPROCS/Workers so pool × algo stays ≈ GOMAXPROCS. A parallel
+// core-exact query through the composed budget must return the library's
+// serial answer.
+func TestEngineAlgoWorkersCompose(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2, AlgoWorkers: 3})
+	if got := e.AlgoWorkers(); got != 3 {
+		t.Fatalf("AlgoWorkers() = %d, want 3", got)
+	}
+	if s := e.Stats(); s.AlgoWorkers != 3 {
+		t.Fatalf("Stats().AlgoWorkers = %d, want 3", s.AlgoWorkers)
+	}
+	res, _, err := e.Query(context.Background(), "bowtie", "triangle", dsd.AlgoCoreExact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := dsd.PatternByName("triangle")
+	want, _ := dsd.PatternDensest(bowtie(), p, dsd.AlgoCoreExact)
+	assertSameResult(t, res, want)
+
+	// Default: max(1, GOMAXPROCS/pool), never zero.
+	wide := newTestEngine(t, Config{Workers: 64})
+	wantAW := runtime.GOMAXPROCS(0) / 64
+	if wantAW < 1 {
+		wantAW = 1
+	}
+	if got := wide.AlgoWorkers(); got != wantAW {
+		t.Fatalf("derived AlgoWorkers = %d, want %d for a 64-wide pool", got, wantAW)
 	}
 }
 

@@ -98,14 +98,17 @@ func FromStats(name string, s graph.Stats) GraphInfo {
 	}
 }
 
-// StatsResponse is the service's operational counters.
+// StatsResponse is the service's operational counters. Workers is the
+// query-pool bound; AlgoWorkers is the per-query intra-algorithm budget
+// (the two compose to the service's total parallelism).
 type StatsResponse struct {
-	Graphs    int   `json:"graphs"`
-	Workers   int   `json:"workers"`
-	Queries   int64 `json:"queries"`
-	Computes  int64 `json:"computes"`
-	CacheHits int64 `json:"cache_hits"`
-	Errors    int64 `json:"errors"`
+	Graphs      int   `json:"graphs"`
+	Workers     int   `json:"workers"`
+	AlgoWorkers int   `json:"algo_workers"`
+	Queries     int64 `json:"queries"`
+	Computes    int64 `json:"computes"`
+	CacheHits   int64 `json:"cache_hits"`
+	Errors      int64 `json:"errors"`
 }
 
 // ErrorResponse carries an API error.
