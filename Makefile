@@ -3,9 +3,10 @@
 # before pushing and the gates cannot surprise you.
 
 GO ?= go
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_3.json
+BENCH_PREV ?= BENCH_2.json
 
-.PHONY: check fmt vet build test race bench clean
+.PHONY: check fmt vet build test race bench bench-compare clean
 
 check: fmt vet build race
 
@@ -31,6 +32,10 @@ race:
 bench:
 	$(GO) run ./cmd/dsdbench -run perfsuite -quick -json -out $(BENCH_OUT) -workers 4
 	$(GO) run ./cmd/dsdbench -validate $(BENCH_OUT)
+
+# Diff the fresh artifact against the previous trajectory point.
+bench-compare: bench
+	$(GO) run ./cmd/dsdbench -compare $(BENCH_PREV) $(BENCH_OUT)
 
 clean:
 	$(GO) clean ./...

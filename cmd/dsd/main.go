@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-workers 4] [-print] [-json]
+//	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-workers 4]
+//	    [-iterative 16] [-print] [-json]
 //
 // The motif is any paper pattern name ("edge", "triangle", "4-clique",
 // "2-star", "c3-star", "diamond", "2-triangle", "3-triangle", "basket").
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		motifName  = fs.String("motif", "edge", "motif: edge, triangle, h-clique, or a pattern name")
 		algoName   = fs.String("algo", "core-exact", "algorithm: exact, core-exact, peel, inc, core-app, nucleus")
 		workers    = fs.Int("workers", 0, "parallel workers for core-exact (0 or 1 = serial, -1 = GOMAXPROCS)")
+		iterative  = fs.Int("iterative", 0, "Greed++ pre-solve iterations for core-exact (0 = engine default, -1 = off)")
 		printVerts = fs.Bool("print", false, "print the vertex set of the answer")
 		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd API encoding")
 	)
@@ -63,8 +65,9 @@ func run(args []string, out io.Writer) error {
 		w = runtime.GOMAXPROCS(0)
 	}
 	res, err := dsd.PatternDensestWith(context.Background(), g, p, dsd.Config{
-		Algo:    dsd.Algo(*algoName),
-		Workers: w,
+		Algo:      dsd.Algo(*algoName),
+		Workers:   w,
+		Iterative: *iterative,
 	})
 	if err != nil {
 		return err

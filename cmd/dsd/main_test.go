@@ -70,6 +70,33 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// TestRunIterativeFlag: every -iterative setting (engine default, off,
+// explicit budget) must answer the same query identically — the knob
+// changes how the answer is found, never the answer.
+func TestRunIterativeFlag(t *testing.T) {
+	path := writeTempGraph(t)
+	for _, iter := range []string{"0", "-1", "8"} {
+		var out bytes.Buffer
+		err := run([]string{"-graph", path, "-motif", "triangle", "-iterative", iter, "-json"}, &out)
+		if err != nil {
+			t.Fatalf("-iterative %s: %v", iter, err)
+		}
+		var resp wire.QueryResponse
+		if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+			t.Fatalf("-iterative %s: %v", iter, err)
+		}
+		if resp.Result.DensityNum != 2 || resp.Result.DensityDen != 5 {
+			t.Fatalf("-iterative %s: density %d/%d, want 2/5", iter, resp.Result.DensityNum, resp.Result.DensityDen)
+		}
+		if iter == "-1" && resp.Result.PreSolveIters != 0 {
+			t.Fatalf("-iterative -1 still ran %d pre-solve iterations", resp.Result.PreSolveIters)
+		}
+		if iter == "8" && resp.Result.PreSolveIters == 0 {
+			t.Fatal("-iterative 8 reports no pre-solve iterations")
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{}, &out); err == nil {

@@ -7,13 +7,16 @@
 //	dsdbench -list
 //	dsdbench -run fig8exact
 //	dsdbench -run all [-div 4] [-maxh 4] [-quick]
-//	dsdbench -run perfsuite -quick -json [-out BENCH_2.json] [-workers 4]
-//	dsdbench -validate BENCH_2.json
+//	dsdbench -run perfsuite -quick -json [-out BENCH_3.json] [-workers 4] [-iterative 16]
+//	dsdbench -validate BENCH_3.json
+//	dsdbench -compare BENCH_2.json BENCH_3.json
 //
 // With -json (perfsuite only) the suite is emitted as a dsd-bench/v1
 // JSON report instead of a table; -validate checks an existing report
-// against the schema and exits non-zero on any violation, which is how
-// CI gates the bench artifact.
+// against the schema and exits non-zero on any violation — including the
+// iterative-arm gates (density match, flow solves ≤ the seed engine's) —
+// which is how CI gates the bench artifact. -compare diffs two trajectory
+// artifacts case by case (`make bench-compare`).
 package main
 
 import (
@@ -38,19 +41,27 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
 	var (
-		runID    = fs.String("run", "", "experiment id, or \"all\"")
-		list     = fs.Bool("list", false, "list experiments")
-		div      = fs.Int("div", 1, "extra dataset downscale divisor")
-		maxh     = fs.Int("maxh", 6, "largest clique size to sweep")
-		quick    = fs.Bool("quick", false, "smoke-test sizes")
-		ibudget  = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
-		workers  = fs.Int("workers", 0, "perf-suite parallel arm worker count (0 = the reference arm of 4)")
-		asJSON   = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
-		outPath  = fs.String("out", "", "write the -json report to this file instead of stdout")
-		validate = fs.String("validate", "", "validate a BENCH_*.json report and exit")
+		runID     = fs.String("run", "", "experiment id, or \"all\"")
+		list      = fs.Bool("list", false, "list experiments")
+		div       = fs.Int("div", 1, "extra dataset downscale divisor")
+		maxh      = fs.Int("maxh", 6, "largest clique size to sweep")
+		quick     = fs.Bool("quick", false, "smoke-test sizes")
+		ibudget   = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
+		workers   = fs.Int("workers", 0, "perf-suite parallel arm worker count (0 = the reference arm of 4)")
+		iterative = fs.Int("iterative", 0, "perf-suite iterative arm pre-solve budget, > 0 (0 = the engine default)")
+		asJSON    = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
+		outPath   = fs.String("out", "", "write the -json report to this file instead of stdout")
+		validate  = fs.String("validate", "", "validate a BENCH_*.json report and exit")
+		compare   = fs.Bool("compare", false, "diff two BENCH_*.json reports (args: OLD NEW) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *iterative < 0 {
+		// Unlike dsd's -iterative, there is no "off" here: the suite's
+		// serial arm already measures the pre-solver disabled, so a
+		// negative budget can only be a misread of the flag.
+		return fmt.Errorf("-iterative wants a positive budget (the serial arm already measures the pre-solver off)")
 	}
 
 	if *validate != "" {
@@ -63,6 +74,23 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "%s: valid %s report\n", *validate, expt.BenchSchema)
 		return nil
+	}
+
+	if *compare {
+		rest := fs.Args()
+		if len(rest) != 2 {
+			return fmt.Errorf("-compare wants exactly two report paths, got %d", len(rest))
+		}
+		oldData, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		newData, err := os.ReadFile(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s → %s\n", rest[0], rest[1])
+		return expt.CompareBenchReports(out, oldData, newData)
 	}
 
 	if *list || *runID == "" {
@@ -86,6 +114,7 @@ func run(args []string, out io.Writer) error {
 		cfg.InstanceBudget = *ibudget
 	}
 	cfg.Workers = *workers
+	cfg.Iterative = *iterative
 
 	if *asJSON {
 		if *runID != "perfsuite" {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -36,5 +38,60 @@ func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-run", "fig99"}, &out); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestRunCompare exercises the -compare mode on two handwritten reports,
+// including the arity and read-failure errors.
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	oldJSON := `{"schema":"dsd-bench/v1","suite":"perfsuite","workers":4,"cases":[
+		{"name":"a","algo":"core-exact","serial_ns_op":100,"serial_iters":30}]}`
+	newJSON := `{"schema":"dsd-bench/v1","suite":"perfsuite","workers":4,"flow_solve_reduction":6,"cases":[
+		{"name":"a","algo":"core-exact","serial_ns_op":80,"serial_iters":30,
+		 "iterative_ns_op":20,"iterative_budget":16,"iterative_flow_solves":5,
+		 "iterative_speedup":5,"iterative_match":true}]}`
+	if err := os.WriteFile(oldPath, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a", "flow-solve reduction: 6.00x"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("compare output missing %q: %q", want, out.String())
+		}
+	}
+	if err := run([]string{"-compare", oldPath}, &out); err == nil {
+		t.Fatal("-compare with one path accepted")
+	}
+	if err := run([]string{"-compare", oldPath, filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Fatal("-compare with missing file accepted")
+	}
+}
+
+// TestRunValidateIterativeGate: a report whose iterative arm spends more
+// flow solves than the seed engine must fail -validate — the CI gate the
+// BENCH_3 artifact answers to.
+func TestRunValidateIterativeGate(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	badJSON := `{"schema":"dsd-bench/v1","suite":"perfsuite","workers":4,"cases":[
+		{"name":"a","algo":"core-exact","serial_ns_op":100,"serial_iters":3,
+		 "iterative_ns_op":20,"iterative_budget":16,"iterative_flow_solves":9,
+		 "iterative_speedup":5,"iterative_match":true}]}`
+	if err := os.WriteFile(bad, []byte(badJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-validate", bad}, &out)
+	if err == nil || !strings.Contains(err.Error(), "flow solves") {
+		t.Fatalf("iterative-regression report accepted: %v", err)
 	}
 }

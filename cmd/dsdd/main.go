@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	dsdd [-addr :8080] [-workers 8] [-algo-workers 2] [-timeout 30s]
-//	     [-graph name=edges.txt ...] [-allow-paths]
+//	dsdd [-addr :8080] [-workers 8] [-algo-workers 2] [-algo-iterative 16]
+//	     [-timeout 30s] [-graph name=edges.txt ...] [-allow-paths]
 //
 // API: POST /v1/query, GET/POST /v1/graphs, GET /v1/stats, GET /healthz.
 //
@@ -70,6 +70,7 @@ func newServer(args []string) (*service.Server, string, error) {
 		addr        = fs.String("addr", ":8080", "listen address")
 		workers     = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
 		algoWorkers = fs.Int("algo-workers", 0, "parallel workers inside each core-exact query (0 = GOMAXPROCS/workers, 1 = serial)")
+		algoIter    = fs.Int("algo-iterative", 0, "Greed++ pre-solve iterations inside each core-exact query (0 = engine default, -1 = off)")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
 		allowPaths  = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
 		graphs      graphSpecs
@@ -86,9 +87,10 @@ func newServer(args []string) (*service.Server, string, error) {
 		}
 	}
 	srv := service.NewServer(reg, service.Config{
-		Workers:     *workers,
-		AlgoWorkers: *algoWorkers,
-		Timeout:     *timeout,
+		Workers:       *workers,
+		AlgoWorkers:   *algoWorkers,
+		AlgoIterative: *algoIter,
+		Timeout:       *timeout,
 	})
 	if *allowPaths {
 		srv.AllowPathRegistration()

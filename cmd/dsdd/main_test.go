@@ -72,6 +72,39 @@ func TestNewServerAllowPaths(t *testing.T) {
 	}
 }
 
+// TestNewServerAlgoIterative: the -algo-iterative flag must reach the
+// engine (visible in /v1/stats) and an -algo-iterative -1 server must
+// still answer queries with the same density as the default.
+func TestNewServerAlgoIterative(t *testing.T) {
+	path := writeTempGraph(t)
+	srv, _, err := newServer([]string{"-algo-iterative", "-1", "-graph", "bowtie=" + path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AlgoIterative != -1 {
+		t.Fatalf("stats.AlgoIterative = %d, want -1", stats.AlgoIterative)
+	}
+	resp, err := c.Query(ctx, wire.QueryRequest{Graph: "bowtie", Pattern: "triangle", Algo: "core-exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.DensityNum != 2 || resp.Result.DensityDen != 5 {
+		t.Fatalf("density %d/%d, want 2/5", resp.Result.DensityNum, resp.Result.DensityDen)
+	}
+	if resp.Result.PreSolveIters != 0 {
+		t.Fatalf("pre-solver ran (%d iterations) despite -algo-iterative -1", resp.Result.PreSolveIters)
+	}
+}
+
 func TestNewServerErrors(t *testing.T) {
 	if _, _, err := newServer([]string{"-graph", "missing-equals"}); err == nil {
 		t.Fatal("bad -graph spec accepted")

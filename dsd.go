@@ -165,8 +165,17 @@ type Config struct {
 	// serially; pass runtime.GOMAXPROCS(0) for full parallelism. The
 	// returned density is identical for every value.
 	Workers int
+	// Iterative tunes core-exact's Greed++ pre-solver, which brackets each
+	// component's density with certified flow-free bounds before any flow
+	// network is built (most per-α min-cut solves are skipped outright).
+	// 0 keeps the engine default (on, core.DefaultIterativeBudget
+	// iterations), a negative value disables the pre-solver (the flow-only
+	// seed engine), and a positive value sets the iteration budget. The
+	// returned density is identical for every value.
+	Iterative int
 	// Core overrides CoreExact's pruning options (nil = DefaultOptions).
-	// Its Workers field is ignored in favor of Config.Workers.
+	// Its Workers field is ignored in favor of Config.Workers, and its
+	// Iterative field yields to a non-zero Config.Iterative.
 	Core *CoreExactOptions
 }
 
@@ -177,6 +186,12 @@ func (c Config) coreOptions() core.Options {
 		opts = *c.Core
 	}
 	opts.Workers = c.Workers
+	switch {
+	case c.Iterative < 0:
+		opts.Iterative = 0
+	case c.Iterative > 0:
+		opts.Iterative = c.Iterative
+	}
 	return opts
 }
 

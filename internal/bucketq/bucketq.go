@@ -36,21 +36,40 @@ func (h *keyHeap) Pop() interface{} {
 
 // New builds a queue holding every item v with initial key keys[v].
 func New(keys []int64) *Queue {
-	q := &Queue{
-		key:  append([]int64(nil), keys...),
-		head: make(map[int64]int32),
-		next: make([]int32, len(keys)),
-		prev: make([]int32, len(keys)),
-		live: len(keys),
-	}
-	for i := range q.next {
+	q := &Queue{head: make(map[int64]int32)}
+	q.Reset(keys)
+	return q
+}
+
+// Reset reinitializes the queue to hold every item v with key keys[v],
+// reusing its internal allocations — behaviorally identical to New(keys).
+// Iterated peels (the Greed++ pre-solver runs one per iteration on a
+// fixed vertex set) reset one queue instead of rebuilding its arrays,
+// bucket map and key heap every round.
+func (q *Queue) Reset(keys []int64) {
+	n := len(keys)
+	q.key = append(q.key[:0], keys...)
+	q.next = growInt32(q.next, n)
+	q.prev = growInt32(q.prev, n)
+	clear(q.head)
+	q.keys = q.keys[:0]
+	q.live = n
+	for i := 0; i < n; i++ {
 		q.next[i], q.prev[i] = nilItem, nilItem
 	}
 	for v := range keys {
 		q.push(int32(v), keys[v])
 	}
 	heap.Init(&q.keys)
-	return q
+}
+
+// growInt32 returns s resized to n elements, reusing its array when large
+// enough. Contents are not cleared; callers initialize.
+func growInt32(s []int32, n int) []int32 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int32, n)
 }
 
 func (q *Queue) push(v int32, k int64) {

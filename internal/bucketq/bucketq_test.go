@@ -154,3 +154,47 @@ func TestAgainstNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestResetEquivalentToNew: a drained (or half-drained) queue Reset with
+// fresh keys must behave exactly like New on those keys, across repeated
+// resets of different sizes — the reuse contract the Greed++ peel relies
+// on every iteration.
+func TestResetEquivalentToNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := New([]int64{1})
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(40)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(15))
+		}
+		q.Reset(keys)
+		fresh := New(keys)
+		// Interleave pops and random clamped decreases on both queues.
+		for {
+			if rng.Intn(3) == 0 {
+				v := rng.Intn(n)
+				nk := int64(rng.Intn(15))
+				q.DecreaseTo(v, nk, 0)
+				fresh.DecreaseTo(v, nk, 0)
+			}
+			v1, k1, ok1 := q.PopMin()
+			v2, k2, ok2 := fresh.PopMin()
+			if ok1 != ok2 || k1 != k2 {
+				t.Fatalf("round %d: reset queue popped (%d,%d,%v), fresh (%d,%d,%v)",
+					round, v1, k1, ok1, v2, k2, ok2)
+			}
+			if !ok1 {
+				break
+			}
+			if q.Len() != fresh.Len() {
+				t.Fatalf("round %d: live counts diverge %d vs %d", round, q.Len(), fresh.Len())
+			}
+			// Half the rounds leave the queue partially drained before the
+			// next Reset, exercising stale state clearing.
+			if q.Len() > 0 && rng.Intn(2*n) == 0 {
+				break
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/iterative"
 	"repro/internal/motif"
 	"repro/internal/pattern"
 	"repro/internal/psicore"
@@ -30,6 +31,19 @@ type Options struct {
 	// Grouped uses the construct+ grouped flow network (Algorithm 7);
 	// meaningful for non-clique patterns only.
 	Grouped bool
+	// Iterative is the Greed++ pre-solve iteration budget (0 disables the
+	// pre-solver, restoring the flow-only seed engine). Before a component
+	// search builds any flow network it runs this many load-balancing
+	// iterations (internal/iterative), yielding a certified lower bound
+	// with witness — published to the shared bound immediately — and a
+	// certified upper bound max-load/T. Components whose upper bound the
+	// shared lower bound dominates, or whose bound gap already beats the
+	// binary-search stop, finish with zero flow solves; the rest binary
+	// search a range narrowed from [l, kmax] to [l, min(kmax_C, maxload/T)].
+	// Solver state is warm-started across the search's core shrinks. The
+	// bounds are conservative certificates, so the returned density is
+	// identical for every budget, including 0.
+	Iterative int
 	// Workers bounds how many per-component binary searches (Algorithm 4
 	// lines 5-20) run concurrently; values ≤ 1 run the engine serially.
 	// Workers > 1 also parallelizes the clique-degree seeding of the
@@ -40,10 +54,23 @@ type Options struct {
 	Workers int
 }
 
-// DefaultOptions is full CoreExact: all prunings on, construct+ on,
-// serial execution.
+// DefaultIterativeBudget is DefaultOptions' Greed++ pre-solve budget. An
+// iteration is one bucket-queue peel over the materialized instance links
+// — far cheaper than a min-cut on the same component — and typically
+// replaces several flow solves; iteration one is exactly the greedy peel,
+// and the bounds tighten as O(1/T) beyond it. 16 balances the dense-motif
+// regime (a handful of iterations already collapses the search range)
+// against edge density, whose networks are cheap enough that a large
+// budget must earn its keep.
+const DefaultIterativeBudget = 16
+
+// DefaultOptions is full CoreExact: all prunings on, construct+ on, the
+// iterative pre-solver on, serial execution.
 func DefaultOptions() Options {
-	return Options{Pruning1: true, Pruning2: true, Pruning3: true, Grouped: true}
+	return Options{
+		Pruning1: true, Pruning2: true, Pruning3: true, Grouped: true,
+		Iterative: DefaultIterativeBudget,
+	}
 }
 
 // CoreExact is the paper's core-based exact CDS algorithm (Algorithm 4)
@@ -213,6 +240,10 @@ func coreExactDriver(ctx context.Context, g *graph.Graph, o motif.Oracle, opts O
 	for _, cs := range perComp {
 		stats.FlowNodes = append(stats.FlowNodes, cs.flowNodes...)
 		stats.Iterations += cs.iterations
+		stats.PreSolveIters += cs.preIters
+		if cs.preSkip {
+			stats.PreSolveSkips++
+		}
 	}
 
 	_, witness = cell.snapshot()
@@ -227,6 +258,8 @@ func coreExactDriver(ctx context.Context, g *graph.Graph, o motif.Oracle, opts O
 type compStats struct {
 	flowNodes  []int
 	iterations int
+	preIters   int
+	preSkip    bool // search concluded without building a flow network
 }
 
 // searchComponent runs the shrinking-flow binary search of Algorithm 4
@@ -261,7 +294,112 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 	if int64(len(cur)) < p {
 		return cs, nil
 	}
-	sub := g.Induced(cur)
+
+	// Per-component upper bound: the component optimum D has, within
+	// itself, min Ψ-degree ≥ ρ(D) (removing a lighter vertex would raise
+	// the density), so every vertex of D has core number ≥ ρ(D) and the
+	// component's max core number dominates ρ(D) — tighter than the global
+	// kmax for every component but the one carrying it.
+	uc := float64(maxCoreOf(cur, dec))
+
+	// Pruning3's stop is fixed per component, from the component's own
+	// size: every witness and every candidate subgraph of this search —
+	// before or after a core shrink — lives inside comp, so any two
+	// distinct densities compared here differ by more than
+	// 1/(|comp|(|comp|−1)) (Lemma 12 restricted to the component). Sizing
+	// the stop from the current (shrinking) subgraph instead would be
+	// coarser than the spacing of a pre-shrink witness and could end a
+	// search before a strictly denser subgraph is ruled out.
+	stopComp := globalStop
+	if opts.Pruning3 {
+		vc := float64(len(comp))
+		if s := 1.0 / (vc * (vc - 1)); s > stopComp {
+			stopComp = s
+		}
+	}
+
+	// Iterative pre-solve: run the Greed++ load balancer before any
+	// network exists. Its lower bound is a real witness of this component
+	// (published to the shared cell at once); its upper bound narrows or
+	// outright closes the search range. ownLB tracks the best bound
+	// certified by a witness INSIDE this component: Pruning3's coarser
+	// per-component stop is licensed only when the threshold being tested
+	// equals it — bounds from sibling components are only comparable at
+	// the global 1/(n(n−1)) spacing of Lemma 12, no matter when they
+	// arrive in the shared cell.
+	ownLB := rational.Zero
+	var (
+		sub    *graph.Subgraph
+		solver *iterative.Solver
+	)
+	if opts.Iterative > 0 {
+		sub = g.Induced(cur)
+		solver = iterative.New(sub.Graph, o)
+		if err := solver.Run(ctx, opts.Iterative); err != nil {
+			return cs, err
+		}
+		cs.preIters += opts.Iterative
+		lb, wit := solver.Lower()
+		if lb.Greater(lower) {
+			cell.improve(lb, toOrig(sub, wit))
+		}
+		lower = cell.get()
+		ownLB = lb
+		// Exact can't-beat on the iterative certificate: nothing in this
+		// component is denser than max-load/T (rational compare, no
+		// rounding), so a shared bound at or above it ends the search
+		// before a single network is built.
+		if lower.Cmp(solver.Upper()) >= 0 {
+			cs.preSkip = true
+			return cs, nil
+		}
+		if f := solver.UpperFloat(); f < uc {
+			uc = f
+		}
+		// Relocate in a higher core while the state is still flow-free,
+		// warm-starting the solver on the shrunken subgraph.
+		if lk := lower.Ceil(); lk > curK {
+			cur = filterCore(cur, dec, lk)
+			curK = lk
+			if int64(len(cur)) < p {
+				cs.preSkip = true
+				return cs, nil
+			}
+			var err error
+			sub, solver, err = shrinkSolver(ctx, g, o, sub, solver, cur, refreshBudget(opts))
+			if err != nil {
+				return cs, err
+			}
+			cs.preIters += refreshBudget(opts)
+			publishSolverLower(cell, sub, solver)
+			if rlb, _ := solver.Lower(); rlb.Greater(ownLB) {
+				ownLB = rlb
+			}
+			lower = cell.get()
+			if lower.Cmp(solver.Upper()) >= 0 {
+				cs.preSkip = true
+				return cs, nil
+			}
+			if f := solver.UpperFloat(); f < uc {
+				uc = f
+			}
+		}
+		// Gap already below the binary-search stop: the cell's witness is
+		// provably the best this component can contribute — finished with
+		// zero flow solves. The per-component stop applies only when the
+		// threshold IS this component's own certified bound (a sibling may
+		// have raised the cell past it at any point, including mid-shrink).
+		stop := globalStop
+		if !ownLB.IsZero() && lower.Cmp(ownLB) == 0 {
+			stop = stopComp
+		}
+		if uc-lower.Float() < stop {
+			cs.preSkip = true
+			return cs, nil
+		}
+	} else {
+		sub = g.Induced(cur)
+	}
 	sd := makeSide(sub.Graph, o, opts.Grouped)
 
 	// Feasibility probe at α = l (lines 7-9): skip the component if
@@ -279,7 +417,6 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 	}
 
 	lc := lower.Float()
-	uc := float64(dec.KMax)
 	for {
 		if err := ctx.Err(); err != nil {
 			return cs, err
@@ -291,12 +428,9 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		if shared.CmpFloat(uc) >= 0 {
 			return cs, nil
 		}
-		stop := globalStop
-		if opts.Pruning3 {
-			vc := float64(sub.N())
-			stop = 1.0 / (vc * (vc - 1))
-		}
-		if uc-lc < stop {
+		// The probe's feasible cut is a witness of this component, so the
+		// per-component stop is licensed from here on.
+		if uc-lc < stopComp {
 			break
 		}
 		alpha := (lc + uc) / 2
@@ -316,7 +450,8 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		cell.improve(d, best)
 		// Relocate in a higher core once either the local α or the
 		// shared bound crosses an integer boundary (line 17, §6.1 ③):
-		// networks shrink monotonically.
+		// networks shrink monotonically, and the warm-started solver gets
+		// a refresh on the shrunken subgraph to pull uc down further.
 		lk := int64(math.Ceil(alpha))
 		if sk := shared.Ceil(); sk > lk {
 			lk = sk
@@ -326,12 +461,86 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 			if int64(len(shrunk)) >= p && len(shrunk) < len(cur) {
 				cur = shrunk
 				curK = lk
-				sub = g.Induced(cur)
-				sd = makeSide(sub.Graph, o, opts.Grouped)
+				if solver != nil {
+					var err error
+					sub, solver, err = shrinkSolver(ctx, g, o, sub, solver, cur, refreshBudget(opts))
+					if err != nil {
+						return cs, err
+					}
+					cs.preIters += refreshBudget(opts)
+					publishSolverLower(cell, sub, solver)
+					if f := solver.UpperFloat(); f < uc {
+						uc = f
+					}
+				} else {
+					sub = g.Induced(cur)
+				}
+				// The old side's network arena is already sized for the
+				// larger pre-shrink graph; hand it to the new side so the
+				// shrink does not restart the allocation reuse.
+				sd = makeSideReusing(sub.Graph, o, opts.Grouped, takeNet(sd))
 			}
 		}
 	}
 	return cs, nil
+}
+
+// publishSolverLower pushes the solver's current lower bound (a witness
+// of sub, in local ids) into the shared cell when it improves on it —
+// refresh iterations after a core shrink would otherwise pay for a better
+// witness and then drop it.
+func publishSolverLower(cell *boundCell, sub *graph.Subgraph, solver *iterative.Solver) {
+	if lb, wit := solver.Lower(); lb.Greater(cell.get()) {
+		cell.improve(lb, toOrig(sub, wit))
+	}
+}
+
+// refreshBudget is the warm-start iteration budget spent after each core
+// shrink: a quarter of the pre-solve budget, at least one iteration.
+func refreshBudget(opts Options) int {
+	if r := opts.Iterative / 4; r > 1 {
+		return r
+	}
+	return 1
+}
+
+// shrinkSolver carries the Greed++ loads accumulated on oldSub over to the
+// shrunken vertex set cur (original ids, a subset of oldSub's) and runs a
+// refresh on the new subgraph. Restricting loads to surviving vertices
+// keeps the max-load/T certificate valid — surviving instances charged all
+// their units to surviving vertices, lost instances only inflate loads —
+// so the warm solver's upper bound is immediately trustworthy and the
+// refresh tightens it instead of starting from scratch.
+func shrinkSolver(ctx context.Context, g *graph.Graph, o motif.Oracle, oldSub *graph.Subgraph,
+	s *iterative.Solver, cur []int32, refresh int) (*graph.Subgraph, *iterative.Solver, error) {
+	sub := g.Induced(cur)
+	loads := make([]int64, sub.N())
+	oldLoads := s.Loads()
+	// Both Orig slices ascend (Induced sorts) and sub's set is contained
+	// in oldSub's, so one merge pass remaps the loads.
+	j := 0
+	for i, v := range sub.Orig {
+		for oldSub.Orig[j] != v {
+			j++
+		}
+		loads[i] = oldLoads[j]
+	}
+	ns := iterative.NewWarm(sub.Graph, o, loads, s.Iterations())
+	if err := ns.Run(ctx, refresh); err != nil {
+		return nil, nil, err
+	}
+	return sub, ns, nil
+}
+
+// maxCoreOf returns the maximum Ψ-core number among vs.
+func maxCoreOf(vs []int32, dec *psicore.Decomposition) int64 {
+	var k int64
+	for _, v := range vs {
+		if dec.Core[v] > k {
+			k = dec.Core[v]
+		}
+	}
+	return k
 }
 
 // filterCore keeps the vertices of vs whose Ψ-core number is ≥ k.

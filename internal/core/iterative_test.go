@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/motif"
+	"repro/internal/pattern"
+	"repro/internal/rational"
+)
+
+// TestCoreExactIterativeEquivalence is the exactness proof obligation of
+// the Greed++ pre-solver: across ~50 random graphs and h ∈ {2,3,4}, the
+// pre-solved engine — serial and on a worker pool — must return exactly
+// the density of the seed Exact path (rational comparison, not float),
+// with a witness whose recomputed density matches. Run under -race this
+// also exercises pre-solve publications racing into the shared bound cell.
+func TestCoreExactIterativeEquivalence(t *testing.T) {
+	for gi, g := range equivalenceGraphs(t) {
+		for h := 2; h <= 4; h++ {
+			want := Exact(g, h).Density
+			serial := DefaultOptions() // pre-solver on by default
+			par := DefaultOptions()
+			par.Workers = 4
+			for mode, opts := range map[string]Options{"serial": serial, "parallel": par} {
+				res := CoreExactOpts(g, h, opts)
+				if res.Density.Cmp(want) != 0 {
+					t.Fatalf("graph %d h=%d %s: pre-solved density %v != exact %v",
+						gi, h, mode, res.Density, want)
+				}
+				if len(res.Vertices) > 0 {
+					if d, _ := densityOf(g, motif.Clique{H: h}, res.Vertices); d.Cmp(res.Density) != 0 {
+						t.Fatalf("graph %d h=%d %s: witness density %v != reported %v",
+							gi, h, mode, d, res.Density)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCorePExactIterativeEquivalence extends the obligation to pattern
+// cores: pre-solved CorePExact against the seed PExact path.
+func TestCorePExactIterativeEquivalence(t *testing.T) {
+	pats := []*pattern.Pattern{pattern.Star(2), pattern.Diamond()}
+	gs := equivalenceGraphs(t)[:10]
+	for gi, g := range gs {
+		for _, p := range pats {
+			want := PExact(g, p).Density
+			opts := DefaultOptions()
+			opts.Workers = 3
+			res := CorePExactOpts(g, p, opts)
+			if res.Density.Cmp(want) != 0 {
+				t.Fatalf("graph %d pattern %s: pre-solved density %v != exact %v",
+					gi, p.Name(), res.Density, want)
+			}
+		}
+	}
+}
+
+// TestCoreExactIterativeBudgets: the budget knob must be answer-invariant
+// — tiny budgets (bounds barely help), the default, and budgets past
+// convergence all return the seed density.
+func TestCoreExactIterativeBudgets(t *testing.T) {
+	gs := equivalenceGraphs(t)[:8]
+	for gi, g := range gs {
+		want := CoreExactOpts(g, 3, Options{
+			Pruning1: true, Pruning2: true, Pruning3: true, Grouped: true,
+		}).Density // Iterative: 0 — the flow-only seed engine
+		for _, budget := range []int{1, 2, DefaultIterativeBudget, 64} {
+			opts := DefaultOptions()
+			opts.Iterative = budget
+			got := CoreExactOpts(g, 3, opts).Density
+			if got.Cmp(want) != 0 {
+				t.Fatalf("graph %d budget %d: density %v, want %v", gi, budget, got, want)
+			}
+		}
+	}
+}
+
+// TestCoreExactIterativePruningVariants runs the Figure-10 pruning
+// ablations with the pre-solver on: the answer must not depend on which
+// prunings accompany it, serial or parallel.
+func TestCoreExactIterativePruningVariants(t *testing.T) {
+	gs := equivalenceGraphs(t)[:6]
+	variants := []Options{
+		{Pruning1: false, Pruning2: true, Pruning3: true, Grouped: true, Iterative: DefaultIterativeBudget},
+		{Pruning1: true, Pruning2: false, Pruning3: true, Grouped: true, Iterative: DefaultIterativeBudget},
+		{Pruning1: true, Pruning2: true, Pruning3: false, Grouped: true, Iterative: DefaultIterativeBudget},
+	}
+	for gi, g := range gs {
+		want := Exact(g, 3).Density
+		for vi, opts := range variants {
+			for _, workers := range []int{0, 3} {
+				opts.Workers = workers
+				got := CoreExactOpts(g, 3, opts).Density
+				if got.Cmp(want) != 0 {
+					t.Fatalf("graph %d variant %d workers %d: density %v, want %v",
+						gi, vi, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCoreExactIterativeMultiCommunity pins the stress instance with the
+// pre-solver on: the known optimum must come back for every worker count,
+// and the pre-solver must actually relieve the flow engine (fewer min-cut
+// solves than the seed configuration, with flow-free component finishes).
+func TestCoreExactIterativeMultiCommunity(t *testing.T) {
+	const k, clique, fringe, fringeBase = 6, 20, 8, 12
+	g := gen.MultiCommunity(k, clique, fringe, fringeBase, 14, 1)
+	tmax := int64(fringeBase + k - 1)
+	mu := int64(clique*(clique-1)*(clique-2)/6) + int64(fringe)*tmax*(tmax-1)/2
+	want := rational.New(mu, int64(clique+fringe))
+
+	seed := DefaultOptions()
+	seed.Iterative = 0
+	seedRes := CoreExactOpts(g, 3, seed)
+	if seedRes.Density.Cmp(want) != 0 {
+		t.Fatalf("seed engine: density %v, want %v", seedRes.Density, want)
+	}
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		opts := DefaultOptions()
+		opts.Workers = w
+		res := CoreExactOpts(g, 3, opts)
+		if res.Density.Cmp(want) != 0 {
+			t.Fatalf("workers=%d: density %v, want %v", w, res.Density, want)
+		}
+		if res.Stats.Iterations > seedRes.Stats.Iterations {
+			t.Fatalf("workers=%d: pre-solved engine spent %d flow solves, seed %d",
+				w, res.Stats.Iterations, seedRes.Stats.Iterations)
+		}
+		if res.Stats.PreSolveIters == 0 {
+			t.Fatalf("workers=%d: pre-solver did not run", w)
+		}
+		if w <= 1 && res.Stats.PreSolveSkips == 0 {
+			t.Fatalf("workers=%d: no component finished flow-free on the stress instance", w)
+		}
+	}
+}
+
+// TestCoreExactIterativeStats: the seed configuration must report zero
+// pre-solve work, and the default configuration must report it without
+// perturbing the density — the counters the BENCH artifact and the wire
+// encoding surface.
+func TestCoreExactIterativeStats(t *testing.T) {
+	g := gen.ChungLu(80, 320, 2.3, 5)
+	seed := DefaultOptions()
+	seed.Iterative = 0
+	rs := CoreExactOpts(g, 3, seed)
+	if rs.Stats.PreSolveIters != 0 || rs.Stats.PreSolveSkips != 0 {
+		t.Fatalf("seed engine reports pre-solve work: %+v", rs.Stats)
+	}
+	ri := CoreExact(g, 3)
+	if ri.Stats.PreSolveIters == 0 {
+		t.Fatal("default engine reports no pre-solve iterations")
+	}
+	if rs.Density.Cmp(ri.Density) != 0 {
+		t.Fatalf("density changed: %v vs %v", rs.Density, ri.Density)
+	}
+}

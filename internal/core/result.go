@@ -30,8 +30,18 @@ type Stats struct {
 	// FlowNodes records the node count of every flow network built, in
 	// order (Figure 9: networks shrink across binary-search iterations).
 	FlowNodes []int
-	// Iterations counts binary-search iterations (min-cut computations).
+	// Iterations counts binary-search iterations, i.e. flow networks built
+	// and min-cut computations performed.
 	Iterations int
+	// PreSolveIters counts Greed++ load-balancing iterations run by the
+	// iterative pre-solver across all component searches (0 when the
+	// pre-solver is disabled).
+	PreSolveIters int
+	// PreSolveSkips counts component searches the pre-solver finished
+	// without building a single flow network: the iterative bounds either
+	// proved the component cannot beat the shared lower bound or closed
+	// the binary-search gap outright.
+	PreSolveSkips int
 }
 
 // evaluate builds the Result for the subgraph of g induced by vs.

@@ -18,8 +18,8 @@ func RunFig17(cfg Config) error {
 	g := sdblp()
 	fmt.Fprintf(cfg.Out, "S-DBLP stand-in: n=%d m=%d\n", g.N(), g.M())
 
-	tri := core.CorePExact(g, pattern.Triangle())
-	star := core.CorePExact(g, pattern.Star(2))
+	tri := seedCorePExact(g, pattern.Triangle())
+	star := seedCorePExact(g, pattern.Star(2))
 
 	report := func(name string, res *core.Result) {
 		sub := g.Induced(res.Vertices)
@@ -71,7 +71,7 @@ func RunFig21(cfg Config) error {
 		pattern.Edge(), pattern.CStar(), pattern.Book(2), pattern.KClique(4), pattern.Star(2), pattern.Diamond(),
 	}
 	for _, p := range pats {
-		res := core.CorePExact(g, p)
+		res := seedCorePExact(g, p)
 		if len(res.Vertices) == 0 {
 			fmt.Fprintf(cfg.Out, "%-12s no instances\n", p.Name())
 			continue

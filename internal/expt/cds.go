@@ -46,7 +46,7 @@ func RunFig8Exact(cfg Config) error {
 				exact = core.Exact(g, h)
 				exactCell = secs(exact.Stats.Total)
 			}
-			coreExact = core.CoreExact(g, h)
+			coreExact = seedCoreExact(g, h)
 			speedup := "-"
 			if exact != nil {
 				if exact.Density.Cmp(coreExact.Density) != 0 {
@@ -111,7 +111,7 @@ func RunFig9(cfg Config) error {
 					full = fmt.Sprintf("%d", 2+g.N()+int(lambda))
 				}
 			}
-			res := core.CoreExact(g, h)
+			res := seedCoreExact(g, h)
 			seq := ""
 			for i, sz := range res.Stats.FlowNodes {
 				if i >= 7 {
@@ -177,7 +177,7 @@ func RunTable3(cfg Config) error {
 		}
 		g := load(cfg, spec)
 		for _, h := range hRange(cfg) {
-			r := core.CoreExact(g, h)
+			r := seedCoreExact(g, h)
 			share := 100 * r.Stats.Decompose.Seconds() / r.Stats.Total.Seconds()
 			t.row(name, fmt.Sprintf("%d", h), secs(r.Stats.Decompose), secs(r.Stats.Total),
 				fmt.Sprintf("%.2f%%", share))
@@ -220,7 +220,7 @@ func RunFig11(cfg Config) error {
 		g := load(cfg, spec)
 		for _, h := range hRange(cfg) {
 			o := motif.Clique{H: h}
-			opt := core.CoreExact(g, h)
+			opt := seedCoreExact(g, h)
 			if opt.Density.IsZero() {
 				t.row(name, fmt.Sprintf("%d", h), "-", "-", "-")
 				continue
@@ -247,7 +247,7 @@ func RunFig12(cfg Config) error {
 		}
 		g := load(cfg, spec)
 		for _, h := range hRange(cfg) {
-			ce := core.CoreExact(g, h)
+			ce := seedCoreExact(g, h)
 			ca := core.CoreApp(g, motif.Clique{H: h})
 			t.row(name, fmt.Sprintf("%d", h), secs(ce.Stats.Total), secs(ca.Stats.Total),
 				fmt.Sprintf("%.1fx", ce.Stats.Total.Seconds()/ca.Stats.Total.Seconds()))
@@ -280,7 +280,7 @@ func RunFig13(cfg Config) error {
 			// core is the largest planted clique, which carries almost all
 			// instances, so its feasibility horizon is only ~4x further.
 			if _, _, ok := cliqueNetworkCost(g, h, cfg.LinkBudget); ok {
-				ce := core.CoreExact(g, h)
+				ce := seedCoreExact(g, h)
 				coreCell = secs(ce.Stats.Total)
 			}
 			t.row(spec.Name, fmt.Sprintf("%d", h), exactCell, coreCell)

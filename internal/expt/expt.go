@@ -16,9 +16,11 @@ import (
 	"time"
 
 	"repro/internal/clique"
+	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/pattern"
 )
 
 // Config tunes an experiment run.
@@ -39,6 +41,9 @@ type Config struct {
 	// Workers is the parallel arm measured by the perf suite against the
 	// serial engine (0 = the reference arm of 4, matching the CI gate).
 	Workers int
+	// Iterative is the Greed++ pre-solve budget of the perf suite's
+	// iterative arm (0 = the engine default).
+	Iterative int
 }
 
 // DefaultConfig returns the full-harness configuration.
@@ -191,4 +196,24 @@ func timeIt(fn func()) time.Duration {
 	start := time.Now()
 	fn()
 	return time.Since(start)
+}
+
+// seedCoreExact and seedCorePExact run the core engines in their paper
+// configuration — flow-only, Greed++ pre-solver off. The reproduction
+// experiments (Figures 8-16, Tables 3-5) must keep measuring the paper's
+// algorithm even though the library default now pre-solves; Figure 9 in
+// particular plots the networks the flow binary search builds, which the
+// pre-solver exists to skip. The perf suite measures the pre-solved
+// engine separately, against these as its seed arms.
+func seedCoreExact(g *graph.Graph, h int) *core.Result {
+	opts := core.DefaultOptions()
+	opts.Iterative = 0
+	return core.CoreExactOpts(g, h, opts)
+}
+
+// seedCorePExact is seedCoreExact for pattern motifs.
+func seedCorePExact(g *graph.Graph, p *pattern.Pattern) *core.Result {
+	opts := core.DefaultOptions()
+	opts.Iterative = 0
+	return core.CorePExactOpts(g, p, opts)
 }

@@ -39,18 +39,18 @@ func RunTable5(cfg Config) error {
 		graphs = append(graphs, namedGraph{name, spec.LoadPlain(spec.Div * cfg.Div)})
 	}
 	for _, ng := range graphs {
-		eds := core.CoreExact(ng.g, 2)
+		eds := seedCoreExact(ng.g, 2)
 		// Clique motifs.
 		for _, h := range hRange(cfg) {
 			o := motif.Clique{H: h}
-			opt := core.CoreExact(ng.g, h)
+			opt := seedCoreExact(ng.g, h)
 			edsDen, _ := densityOn(ng.g, o, eds.Vertices)
 			t.row(ng.name, o.Name(), fmt.Sprintf("%.3f", opt.Density.Float()), edsDen)
 		}
 		// Pattern motifs: 2-star and diamond (the Table 5 columns).
 		for _, p := range []*pattern.Pattern{pattern.Star(2), pattern.Diamond()} {
 			o := motif.For(p)
-			opt := core.CorePExact(ng.g, p)
+			opt := seedCorePExact(ng.g, p)
 			edsDen, _ := densityOn(ng.g, o, eds.Vertices)
 			t.row(ng.name, p.Name(), fmt.Sprintf("%.3f", opt.Density.Float()), edsDen)
 		}
@@ -103,7 +103,7 @@ func RunFig15(cfg Config) error {
 				pexact = core.PExact(g, p)
 				pexactCell = secs(pexact.Stats.Total)
 			}
-			cpe := core.CorePExact(g, p)
+			cpe := seedCorePExact(g, p)
 			speedup := "-"
 			if pexact != nil {
 				if pexact.Density.Cmp(cpe.Density) != 0 {

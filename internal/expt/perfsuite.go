@@ -21,8 +21,8 @@ import (
 const BenchSchema = "dsd-bench/v1"
 
 // BenchReport is the JSON artifact of the perf suite (BENCH_*.json): one
-// entry per measured case, serial ns/op always, plus the parallel arm and
-// its speedup for the algorithms with a parallel engine.
+// entry per measured case, serial ns/op always, plus the parallel and
+// iterative-pre-solve arms for the algorithms that have them.
 type BenchReport struct {
 	Schema     string      `json:"schema"`
 	Suite      string      `json:"suite"`
@@ -31,6 +31,11 @@ type BenchReport struct {
 	GoMaxProcs int         `json:"gomaxprocs"`
 	GoVersion  string      `json:"go_version"`
 	Cases      []BenchCase `json:"cases"`
+	// FlowSolveReduction is Σ serial_iters / Σ iterative_flow_solves over
+	// the cases with an iterative arm: how many fewer min-cut computations
+	// the Greed++ pre-solver leaves the suite with, the headline the
+	// BENCH_3 trajectory point measures.
+	FlowSolveReduction float64 `json:"flow_solve_reduction,omitempty"`
 }
 
 // BenchCase measures one (algorithm, motif, graph) cell.
@@ -53,12 +58,25 @@ type BenchCase struct {
 	// the artifact rather than only in wall time.
 	SerialIters   int `json:"serial_iters,omitempty"`
 	ParallelIters int `json:"parallel_iters,omitempty"`
+	// The iterative arm: the serial engine with the Greed++ pre-solver at
+	// IterativeBudget iterations. IterativeFlowSolves counts the min-cut
+	// computations left after the flow-free bounds did their work (CI
+	// gates it against SerialIters), PreSolveIters/PreSolveSkips the
+	// pre-solver's own effort and the components it finished flow-free.
+	IterativeNsOp       int64   `json:"iterative_ns_op,omitempty"`
+	IterativeBudget     int     `json:"iterative_budget,omitempty"`
+	IterativeFlowSolves int     `json:"iterative_flow_solves,omitempty"`
+	PreSolveIters       int     `json:"pre_solve_iters,omitempty"`
+	PreSolveSkips       int     `json:"pre_solve_skips,omitempty"`
+	IterativeSpeedup    float64 `json:"iterative_speedup,omitempty"`
 	// Density is the result density (omitted for decomposition cases).
 	Density float64 `json:"density,omitempty"`
 	// DensityMatch reports that the parallel arm returned exactly the
-	// serial density (rational comparison, not float). CI fails the
-	// bench gate when a parallel case does not match.
-	DensityMatch *bool `json:"density_match,omitempty"`
+	// serial density (rational comparison, not float); IterativeMatch
+	// reports the same for the iterative arm. CI fails the bench gate
+	// when either arm does not match.
+	DensityMatch   *bool `json:"density_match,omitempty"`
+	IterativeMatch *bool `json:"iterative_match,omitempty"`
 }
 
 // perfWorkers resolves the parallel arm's worker count.
@@ -67,6 +85,14 @@ func perfWorkers(cfg Config) int {
 		return cfg.Workers
 	}
 	return 4
+}
+
+// perfIterBudget resolves the iterative arm's pre-solve budget.
+func perfIterBudget(cfg Config) int {
+	if cfg.Iterative > 0 {
+		return cfg.Iterative
+	}
+	return core.DefaultIterativeBudget
 }
 
 // bestOf times fn over reps runs and returns the fastest, the standard
@@ -84,16 +110,21 @@ func bestOf(reps int, fn func()) int64 {
 }
 
 // PerfSuiteReport measures the suite and returns the report. The cases
-// cover the exact hot path this repository optimizes (CoreExact serial
-// vs parallel on the multi-component stress instance, h ∈ {2,3}), the
-// parallel clique-degree seeding, and the approximation baselines that
-// frame them.
+// cover the exact hot path this repository optimizes (CoreExact on the
+// multi-component stress instance and a power-law graph, h ∈ {2,3},
+// measured serial, parallel, and with the Greed++ iterative pre-solver),
+// the parallel clique-degree seeding, and the approximation baselines
+// that frame them. The serial and parallel arms run with the pre-solver
+// off — the flow-only seed engine — so they stay comparable with earlier
+// BENCH_*.json trajectory points; the iterative arm is the same serial
+// engine with flow-free pre-solve bounds.
 func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 	reps := 3
 	if cfg.Quick {
 		reps = 2
 	}
 	workers := perfWorkers(cfg)
+	iterBudget := perfIterBudget(cfg)
 	rep := &BenchReport{
 		Schema:     BenchSchema,
 		Suite:      "perfsuite",
@@ -115,26 +146,39 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 	cl := gen.ChungLu(3000/cfg.Div, 15000/cfg.Div, 2.5, 9)
 
 	coreExactCase := func(name string, g *graph.Graph, h int) BenchCase {
-		var serialRes, parRes *core.Result
-		serial := bestOf(reps, func() { serialRes = core.CoreExact(g, h) })
-		opts := core.DefaultOptions()
-		opts.Workers = workers
-		par := bestOf(reps, func() { parRes = core.CoreExactOpts(g, h, opts) })
+		seed := core.DefaultOptions()
+		seed.Iterative = 0
+		var serialRes, parRes, iterRes *core.Result
+		serial := bestOf(reps, func() { serialRes = core.CoreExactOpts(g, h, seed) })
+		popts := seed
+		popts.Workers = workers
+		par := bestOf(reps, func() { parRes = core.CoreExactOpts(g, h, popts) })
+		iopts := core.DefaultOptions()
+		iopts.Iterative = iterBudget
+		iter := bestOf(reps, func() { iterRes = core.CoreExactOpts(g, h, iopts) })
 		match := serialRes.Density.Cmp(parRes.Density) == 0
+		iterMatch := serialRes.Density.Cmp(iterRes.Density) == 0
 		return BenchCase{
-			Name:          name,
-			Algo:          "core-exact",
-			Motif:         motif.Clique{H: h}.Name(),
-			N:             g.N(),
-			M:             g.M(),
-			SerialNsOp:    serial,
-			ParallelNsOp:  par,
-			Workers:       workers,
-			Speedup:       float64(serial) / float64(par),
-			SerialIters:   serialRes.Stats.Iterations,
-			ParallelIters: parRes.Stats.Iterations,
-			Density:       serialRes.Density.Float(),
-			DensityMatch:  &match,
+			Name:                name,
+			Algo:                "core-exact",
+			Motif:               motif.Clique{H: h}.Name(),
+			N:                   g.N(),
+			M:                   g.M(),
+			SerialNsOp:          serial,
+			ParallelNsOp:        par,
+			Workers:             workers,
+			Speedup:             float64(serial) / float64(par),
+			SerialIters:         serialRes.Stats.Iterations,
+			ParallelIters:       parRes.Stats.Iterations,
+			IterativeNsOp:       iter,
+			IterativeBudget:     iterBudget,
+			IterativeFlowSolves: iterRes.Stats.Iterations,
+			PreSolveIters:       iterRes.Stats.PreSolveIters,
+			PreSolveSkips:       iterRes.Stats.PreSolveSkips,
+			IterativeSpeedup:    float64(serial) / float64(iter),
+			Density:             serialRes.Density.Float(),
+			DensityMatch:        &match,
+			IterativeMatch:      &iterMatch,
 		}
 	}
 	serialCase := func(name, algo string, g *graph.Graph, h int, run func() *core.Result) BenchCase {
@@ -183,6 +227,24 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 			DensityMatch: &match,
 		})
 	}
+
+	// The headline aggregate: seed flow solves per iterative flow solve
+	// across the suite (the divisor is clamped to 1 so a fully flow-free
+	// run stays encodable).
+	var seedSolves, iterSolves int
+	for _, c := range rep.Cases {
+		if c.IterativeNsOp > 0 {
+			seedSolves += c.SerialIters
+			iterSolves += c.IterativeFlowSolves
+		}
+	}
+	if seedSolves > 0 {
+		div := iterSolves
+		if div == 0 {
+			div = 1
+		}
+		rep.FlowSolveReduction = float64(seedSolves) / float64(div)
+	}
 	return rep, nil
 }
 
@@ -193,7 +255,7 @@ func RunPerfSuite(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	t := newTable(cfg.Out, "case", "algo", "motif", "serial", "parallel", "speedup", "match")
+	t := newTable(cfg.Out, "case", "algo", "motif", "serial", "parallel", "speedup", "iterative", "solves", "match")
 	for _, c := range rep.Cases {
 		par, speed, match := "-", "-", "-"
 		if c.ParallelNsOp > 0 {
@@ -201,9 +263,18 @@ func RunPerfSuite(cfg Config) error {
 			speed = fmt.Sprintf("%.2fx", c.Speedup)
 			match = fmt.Sprintf("%v", *c.DensityMatch)
 		}
-		t.row(c.Name, c.Algo, c.Motif, secs(time.Duration(c.SerialNsOp)), par, speed, match)
+		iter, solves := "-", "-"
+		if c.IterativeNsOp > 0 {
+			iter = secs(time.Duration(c.IterativeNsOp))
+			solves = fmt.Sprintf("%d→%d", c.SerialIters, c.IterativeFlowSolves)
+			match = fmt.Sprintf("%v", *c.DensityMatch && *c.IterativeMatch)
+		}
+		t.row(c.Name, c.Algo, c.Motif, secs(time.Duration(c.SerialNsOp)), par, speed, iter, solves, match)
 	}
 	t.flush()
+	if rep.FlowSolveReduction > 0 {
+		fmt.Fprintf(cfg.Out, "flow-solve reduction: %.2fx\n", rep.FlowSolveReduction)
+	}
 	return nil
 }
 
@@ -215,10 +286,11 @@ func WriteBenchReport(w io.Writer, rep *BenchReport) error {
 }
 
 // ValidateBenchReport checks that data is a well-formed BenchReport: the
-// schema tag, at least one case, positive timings, and — the correctness
-// gate — an exact density match on every case that ran a parallel arm.
-// CI runs it against the emitted artifact and fails the bench job on any
-// violation.
+// schema tag, at least one case, positive timings, and the correctness
+// gates — an exact density match on every case that ran a parallel or
+// iterative arm, and no iterative arm spending more flow solves than the
+// seed engine it is meant to relieve. CI runs it against the emitted
+// artifact and fails the bench job on any violation.
 func ValidateBenchReport(data []byte) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -262,6 +334,97 @@ func ValidateBenchReport(data []byte) error {
 				return fmt.Errorf("bench report: case %q: parallel density does not match serial", c.Name)
 			}
 		}
+		if c.IterativeNsOp > 0 {
+			if c.IterativeBudget <= 0 {
+				return fmt.Errorf("bench report: case %q: iterative arm without budget", c.Name)
+			}
+			if c.IterativeMatch == nil {
+				return fmt.Errorf("bench report: case %q: iterative arm without iterative_match", c.Name)
+			}
+			if !*c.IterativeMatch {
+				return fmt.Errorf("bench report: case %q: iterative density does not match serial", c.Name)
+			}
+			// The perf gate proper: flow-free bounds must never cost
+			// min-cut computations relative to the seed engine.
+			if c.IterativeFlowSolves > c.SerialIters {
+				return fmt.Errorf("bench report: case %q: iterative arm spends %d flow solves, seed %d",
+					c.Name, c.IterativeFlowSolves, c.SerialIters)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeBenchReport parses a BENCH_*.json leniently (older reports lack
+// the newer optional fields; newer reports must still carry the v1 schema
+// tag).
+func decodeBenchReport(data []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench report: schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}
+
+// CompareBenchReports diffs two perf-trajectory artifacts case by case —
+// `dsdbench -compare OLD NEW`, the workflow behind `make bench-compare`.
+// Cases are matched by name; serial wall time is the common axis, and the
+// newer report's iterative arm (when present) is summarized against its
+// seed flow solves. Cases present in only one report are listed so a
+// renamed or dropped case cannot silently vanish from the trajectory.
+func CompareBenchReports(w io.Writer, oldData, newData []byte) error {
+	oldRep, err := decodeBenchReport(oldData)
+	if err != nil {
+		return fmt.Errorf("old: %w", err)
+	}
+	newRep, err := decodeBenchReport(newData)
+	if err != nil {
+		return fmt.Errorf("new: %w", err)
+	}
+	oldByName := make(map[string]BenchCase, len(oldRep.Cases))
+	for _, c := range oldRep.Cases {
+		oldByName[c.Name] = c
+	}
+	t := newTable(w, "case", "serial old", "serial new", "Δserial", "solves old", "solves new", "iter solves", "iter time")
+	seen := make(map[string]bool)
+	for _, nc := range newRep.Cases {
+		oc, ok := oldByName[nc.Name]
+		if !ok {
+			continue
+		}
+		seen[nc.Name] = true
+		delta := fmt.Sprintf("%+.1f%%", 100*(float64(nc.SerialNsOp)-float64(oc.SerialNsOp))/float64(oc.SerialNsOp))
+		solvesOld, solvesNew, iterSolves, iterTime := "-", "-", "-", "-"
+		if oc.SerialIters > 0 {
+			solvesOld = fmt.Sprintf("%d", oc.SerialIters)
+		}
+		if nc.SerialIters > 0 {
+			solvesNew = fmt.Sprintf("%d", nc.SerialIters)
+		}
+		if nc.IterativeNsOp > 0 {
+			iterSolves = fmt.Sprintf("%d", nc.IterativeFlowSolves)
+			iterTime = secs(time.Duration(nc.IterativeNsOp))
+		}
+		t.row(nc.Name, secs(time.Duration(oc.SerialNsOp)), secs(time.Duration(nc.SerialNsOp)), delta,
+			solvesOld, solvesNew, iterSolves, iterTime)
+	}
+	t.flush()
+	for _, nc := range newRep.Cases {
+		if _, ok := oldByName[nc.Name]; !ok {
+			fmt.Fprintf(w, "only in new: %s\n", nc.Name)
+		}
+	}
+	for _, oc := range oldRep.Cases {
+		if !seen[oc.Name] {
+			fmt.Fprintf(w, "only in old: %s\n", oc.Name)
+		}
+	}
+	if newRep.FlowSolveReduction > 0 {
+		fmt.Fprintf(w, "new flow-solve reduction: %.2fx (seed → iterative, %d workers, budget from report cases)\n",
+			newRep.FlowSolveReduction, newRep.Workers)
 	}
 	return nil
 }

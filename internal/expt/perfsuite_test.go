@@ -29,7 +29,7 @@ func TestPerfSuiteReportRoundTrip(t *testing.T) {
 	if len(rep.Cases) < 4 {
 		t.Fatalf("only %d cases", len(rep.Cases))
 	}
-	sawParallel := false
+	sawParallel, sawIterative := false, false
 	for _, c := range rep.Cases {
 		if c.ParallelNsOp > 0 {
 			sawParallel = true
@@ -37,9 +37,25 @@ func TestPerfSuiteReportRoundTrip(t *testing.T) {
 				t.Fatalf("case %q: parallel arm does not match serial", c.Name)
 			}
 		}
+		if c.IterativeNsOp > 0 {
+			sawIterative = true
+			if c.IterativeMatch == nil || !*c.IterativeMatch {
+				t.Fatalf("case %q: iterative arm does not match serial", c.Name)
+			}
+			if c.IterativeFlowSolves > c.SerialIters {
+				t.Fatalf("case %q: iterative arm spends more flow solves (%d) than seed (%d)",
+					c.Name, c.IterativeFlowSolves, c.SerialIters)
+			}
+		}
 	}
 	if !sawParallel {
 		t.Fatal("no parallel arm measured")
+	}
+	if !sawIterative {
+		t.Fatal("no iterative arm measured")
+	}
+	if rep.FlowSolveReduction < 1 {
+		t.Fatalf("flow-solve reduction %.2f, want ≥ 1", rep.FlowSolveReduction)
 	}
 
 	var buf bytes.Buffer
@@ -63,6 +79,8 @@ func TestValidateBenchReportRejects(t *testing.T) {
 		Cases: []BenchCase{{
 			Name: "x", Algo: "core-exact", SerialNsOp: 10,
 			ParallelNsOp: 5, Workers: 4, Speedup: 2, DensityMatch: &tr,
+			SerialIters: 20, IterativeNsOp: 4, IterativeBudget: 16,
+			IterativeFlowSolves: 5, IterativeSpeedup: 2.5, IterativeMatch: &tr,
 		}},
 	}
 	mutate := func(fn func(*BenchReport)) []byte {
@@ -94,6 +112,10 @@ func TestValidateBenchReportRejects(t *testing.T) {
 		{"zero serial", mutate(func(r *BenchReport) { r.Cases[0].SerialNsOp = 0 }), "serial_ns_op"},
 		{"no speedup", mutate(func(r *BenchReport) { r.Cases[0].Speedup = 0 }), "speedup"},
 		{"density mismatch", mutate(func(r *BenchReport) { r.Cases[0].DensityMatch = &fa }), "does not match"},
+		{"iterative mismatch", mutate(func(r *BenchReport) { r.Cases[0].IterativeMatch = &fa }), "iterative density"},
+		{"iterative no match field", mutate(func(r *BenchReport) { r.Cases[0].IterativeMatch = nil }), "iterative_match"},
+		{"iterative no budget", mutate(func(r *BenchReport) { r.Cases[0].IterativeBudget = 0 }), "budget"},
+		{"iterative more solves", mutate(func(r *BenchReport) { r.Cases[0].IterativeFlowSolves = 21 }), "flow solves"},
 		{"unknown field", []byte(`{"schema":"dsd-bench/v1","bogus":1}`), "bogus"},
 		{"not json", []byte("perf went great"), "bench report"},
 	}
@@ -105,5 +127,49 @@ func TestValidateBenchReportRejects(t *testing.T) {
 		if !strings.Contains(err.Error(), c.want) {
 			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
 		}
+	}
+}
+
+// TestCompareBenchReports diffs a synthetic old/new report pair: shared
+// cases must land in the table, asymmetric cases must be called out, and
+// an older report without the iterative fields must parse (the BENCH_2 →
+// BENCH_3 situation `make bench-compare` exists for).
+func TestCompareBenchReports(t *testing.T) {
+	tr := true
+	oldRep := BenchReport{
+		Schema: BenchSchema, Suite: "perfsuite", Workers: 4,
+		Cases: []BenchCase{
+			{Name: "shared", Algo: "core-exact", SerialNsOp: 100, SerialIters: 40},
+			{Name: "dropped", Algo: "core-exact", SerialNsOp: 50},
+		},
+	}
+	newRep := BenchReport{
+		Schema: BenchSchema, Suite: "perfsuite", Workers: 4,
+		FlowSolveReduction: 8,
+		Cases: []BenchCase{
+			{Name: "shared", Algo: "core-exact", SerialNsOp: 90, SerialIters: 40,
+				IterativeNsOp: 30, IterativeBudget: 16, IterativeFlowSolves: 5, IterativeMatch: &tr},
+			{Name: "added", Algo: "core-exact", SerialNsOp: 10},
+		},
+	}
+	marshal := func(r BenchReport) []byte {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	var buf bytes.Buffer
+	if err := CompareBenchReports(&buf, marshal(oldRep), marshal(newRep)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"shared", "only in new: added", "only in old: dropped", "flow-solve reduction: 8.00x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if err := CompareBenchReports(&buf, []byte(`{"schema":"nope"}`), marshal(newRep)); err == nil {
+		t.Fatal("bad old report accepted")
 	}
 }

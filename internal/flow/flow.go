@@ -16,19 +16,41 @@ var Inf = math.Inf(1)
 
 // Network is a directed flow network under construction or after a
 // max-flow run. Nodes are dense ints; add edges with AddEdge, then call
-// MaxFlow once.
+// MaxFlow once. Reset recycles a solved network's allocations for the
+// next build — the binary-search engines build one network per probe on
+// the same (shrinking) graph, so steady-state probes reuse the edge
+// arrays, per-node adjacency lists and BFS/DFS working state instead of
+// reallocating them.
 type Network struct {
 	head [][]int32 // per node: indices into the edge arrays
 	to   []int32
 	cap  []float64 // residual capacity
-	// iter/level are Dinic working state.
+	// iter/level/queue are Dinic working state, kept across runs.
 	level []int32
 	iter  []int32
+	queue []int32
 }
 
 // NewNetwork creates a network with n nodes.
 func NewNetwork(n int) *Network {
 	return &Network{head: make([][]int32, n)}
+}
+
+// Reset re-dimensions f to n nodes and zero edges, retaining every prior
+// allocation it can: the edge arrays, each node's adjacency list, and the
+// Dinic working state. After Reset the network is indistinguishable from
+// NewNetwork(n) to callers.
+func (f *Network) Reset(n int) {
+	if n <= cap(f.head) {
+		f.head = f.head[:n]
+	} else {
+		f.head = append(f.head[:cap(f.head)], make([][]int32, n-cap(f.head))...)
+	}
+	for i := range f.head {
+		f.head[i] = f.head[i][:0]
+	}
+	f.to = f.to[:0]
+	f.cap = f.cap[:0]
 }
 
 // N returns the number of nodes.
@@ -54,11 +76,11 @@ func (f *Network) bfs(s, t int) bool {
 		f.level[i] = -1
 	}
 	f.level[s] = 0
-	queue := make([]int32, 0, len(f.head))
-	queue = append(queue, int32(s))
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	// Pop by index, not by reslicing: saving a head-advanced slice back
+	// would retain only the array tail and defeat the reuse.
+	queue := append(f.queue[:0], int32(s))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, ei := range f.head[v] {
 			w := f.to[ei]
 			if f.cap[ei] > Eps && f.level[w] < 0 {
@@ -67,6 +89,7 @@ func (f *Network) bfs(s, t int) bool {
 			}
 		}
 	}
+	f.queue = queue[:0]
 	return f.level[t] >= 0
 }
 
@@ -92,8 +115,8 @@ func (f *Network) dfs(v, t int, pushed float64) float64 {
 
 // MaxFlow computes the maximum s-t flow, mutating residual capacities.
 func (f *Network) MaxFlow(s, t int) float64 {
-	f.level = make([]int32, f.N())
-	f.iter = make([]int32, f.N())
+	f.level = grow(f.level, f.N())
+	f.iter = grow(f.iter, f.N())
 	var total float64
 	for f.bfs(s, t) {
 		for i := range f.iter {
@@ -108,6 +131,15 @@ func (f *Network) MaxFlow(s, t int) float64 {
 		}
 	}
 	return total
+}
+
+// grow returns s resized to n elements, reusing its array when it is
+// large enough. Contents are not cleared; callers initialize.
+func grow(s []int32, n int) []int32 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int32, n)
 }
 
 // MinCutSource returns, after MaxFlow, the source side S of a minimum

@@ -105,6 +105,60 @@ func TestMaxFlowEqualsMinCutCapacity(t *testing.T) {
 	}
 }
 
+// TestResetReusesArena: a solved network rebuilt through Reset must
+// behave exactly like a fresh one — same flow, same cut — whether the new
+// build is smaller, equal, or larger than the old, and repeated solves on
+// the same reset network must agree with fresh networks every time.
+func TestResetReusesArena(t *testing.T) {
+	build := func(f *Network) {
+		f.AddEdge(0, 1, 10)
+		f.AddEdge(0, 2, 10)
+		f.AddEdge(1, 2, 1)
+		f.AddEdge(1, 3, 10)
+		f.AddEdge(2, 3, 10)
+	}
+	f := NewNetwork(4)
+	build(f)
+	if got := f.MaxFlow(0, 3); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("fresh max flow = %f, want 20", got)
+	}
+
+	// Same size again: residual state from the previous solve must be gone.
+	f.Reset(4)
+	build(f)
+	if got := f.MaxFlow(0, 3); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("reset max flow = %f, want 20", got)
+	}
+
+	// Smaller, with a different topology and a cut check.
+	f.Reset(4)
+	f.AddEdge(0, 1, 5)
+	f.AddEdge(1, 2, 1)
+	f.AddEdge(2, 3, 5)
+	if got := f.MaxFlow(0, 3); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("reset bottleneck = %f, want 1", got)
+	}
+	inS := f.MinCutSource(0)
+	if !inS[0] || !inS[1] || inS[2] || inS[3] {
+		t.Fatalf("reset cut = %v, want {0,1}", inS)
+	}
+
+	// Larger than any prior build: the arena must grow transparently.
+	f.Reset(6)
+	f.AddEdge(0, 4, 2)
+	f.AddEdge(4, 5, 2)
+	f.AddEdge(5, 3, 2)
+	if f.N() != 6 {
+		t.Fatalf("N after growing reset = %d, want 6", f.N())
+	}
+	if got := f.MaxFlow(0, 3); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("grown reset max flow = %f, want 2", got)
+	}
+	if f.NumEdges() != 3 {
+		t.Fatalf("NumEdges after reset = %d, want 3", f.NumEdges())
+	}
+}
+
 func TestNumEdges(t *testing.T) {
 	f := NewNetwork(3)
 	f.AddEdge(0, 1, 1)

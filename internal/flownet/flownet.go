@@ -50,13 +50,30 @@ func (n *Net) SolveVertices() []int32 {
 	return vs
 }
 
+// recycle returns f reset to n nodes, or a fresh network when f is nil:
+// the shared allocation-reuse entry of the Build*Into builders.
+func recycle(f *flow.Network, n int) *flow.Network {
+	if f == nil {
+		return flow.NewNetwork(n)
+	}
+	f.Reset(n)
+	return f
+}
+
 // BuildEDS builds Goldberg's simplified network for edge density (h = 2):
 // s→v with capacity m, v→t with capacity m + 2α − deg(v), and u↔v with
 // capacity 1 per direction for every edge.
 func BuildEDS(g *graph.Graph, alpha float64) *Net {
+	return BuildEDSInto(nil, g, alpha)
+}
+
+// BuildEDSInto is BuildEDS recycling the allocations of f (which may be a
+// previously solved network, or nil for a fresh one). The caller must be
+// done with any Net previously built over f.
+func BuildEDSInto(f *flow.Network, g *graph.Graph, alpha float64) *Net {
 	n := g.N()
 	m := float64(g.M())
-	f := flow.NewNetwork(2 + n)
+	f = recycle(f, 2+n)
 	for v := 0; v < n; v++ {
 		f.AddEdge(Source, VertexNode(v), m)
 		f.AddEdge(VertexNode(v), Sink, m+2*alpha-float64(g.Degree(v)))
@@ -130,7 +147,13 @@ func (cs *CliqueSide) NumNodes(n int) int { return 2 + n + len(cs.Lambda) }
 // capacity α·h, ψ→u with capacity +∞ for every member u of (h−1)-clique
 // ψ, and v→ψ with capacity 1 whenever ψ∪{v} is an h-clique.
 func BuildCDS(n int, cs *CliqueSide, alpha float64) *Net {
-	f := flow.NewNetwork(2 + n + len(cs.Lambda))
+	return BuildCDSInto(nil, n, cs, alpha)
+}
+
+// BuildCDSInto is BuildCDS recycling the allocations of f (nil for a
+// fresh network).
+func BuildCDSInto(f *flow.Network, n int, cs *CliqueSide, alpha float64) *Net {
+	f = recycle(f, 2+n+len(cs.Lambda))
 	lambdaNode := func(j int32) int { return 2 + n + int(j) }
 	for v := 0; v < n; v++ {
 		f.AddEdge(Source, VertexNode(v), float64(cs.Deg[v]))
@@ -202,7 +225,13 @@ func (ps *PatternSide) NumNodes(n int) int { return 2 + n + len(ps.Groups) }
 // v→g with capacity |g| and g→v with capacity |g|·(|VΨ|−1) — with |g|=1
 // this is exactly Algorithm 8's per-instance construction.
 func BuildPDS(n int, ps *PatternSide, alpha float64) *Net {
-	f := flow.NewNetwork(2 + n + len(ps.Groups))
+	return BuildPDSInto(nil, n, ps, alpha)
+}
+
+// BuildPDSInto is BuildPDS recycling the allocations of f (nil for a
+// fresh network).
+func BuildPDSInto(f *flow.Network, n int, ps *PatternSide, alpha float64) *Net {
+	f = recycle(f, 2+n+len(ps.Groups))
 	groupNode := func(j int) int { return 2 + n + j }
 	for v := 0; v < n; v++ {
 		f.AddEdge(Source, VertexNode(v), float64(ps.Deg[v]))

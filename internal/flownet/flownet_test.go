@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/motif"
@@ -168,6 +169,79 @@ func TestGroupingCollapsesSharedVertexSets(t *testing.T) {
 	plain := NewPatternSide(g, motif.Diamond{}, false)
 	if len(plain.Groups) != 4 {
 		t.Fatalf("ungrouped nodes = %d, want 4", len(plain.Groups))
+	}
+}
+
+// TestBuildIntoMatchesFresh sweeps α rebuilding every network family into
+// one recycled arena, checking the decision (and witness) against a fresh
+// build at each step — the allocation-reuse contract the binary-search
+// sides depend on.
+func TestBuildIntoMatchesFresh(t *testing.T) {
+	sameVerts := func(a, b []int32) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	alphas := []float64{0.1, 0.4, 0.9, 1.5, 2.5, 4}
+	for seed := int64(1); seed <= 5; seed++ {
+		g := gen.GNM(10, 24, seed)
+
+		var f *flow.Network
+		for _, a := range alphas {
+			reused := BuildEDSInto(f, g, a)
+			f = reused.Network
+			fresh := BuildEDS(g, a)
+			if !sameVerts(reused.SolveVertices(), fresh.SolveVertices()) {
+				t.Fatalf("seed %d EDS alpha %f: reused build diverges from fresh", seed, a)
+			}
+		}
+
+		cs := NewCliqueSide(g, 3)
+		f = nil
+		for _, a := range alphas {
+			reused := BuildCDSInto(f, g.N(), cs, a)
+			f = reused.Network
+			fresh := BuildCDS(g.N(), cs, a)
+			if !sameVerts(reused.SolveVertices(), fresh.SolveVertices()) {
+				t.Fatalf("seed %d CDS alpha %f: reused build diverges from fresh", seed, a)
+			}
+		}
+
+		ps := NewPatternSide(g, motif.Diamond{}, true)
+		f = nil
+		for _, a := range alphas {
+			reused := BuildPDSInto(f, g.N(), ps, a)
+			f = reused.Network
+			fresh := BuildPDS(g.N(), ps, a)
+			if !sameVerts(reused.SolveVertices(), fresh.SolveVertices()) {
+				t.Fatalf("seed %d PDS alpha %f: reused build diverges from fresh", seed, a)
+			}
+		}
+
+		// Shrinking graphs through one arena, as a component search does.
+		f = nil
+		cur := g
+		for _, a := range alphas[:3] {
+			reused := BuildEDSInto(f, cur, a)
+			f = reused.Network
+			fresh := BuildEDS(cur, a)
+			if !sameVerts(reused.SolveVertices(), fresh.SolveVertices()) {
+				t.Fatalf("seed %d shrink alpha %f: reused build diverges", seed, a)
+			}
+			if cur.N() > 4 {
+				keep := make([]int32, 0, cur.N()-2)
+				for v := 0; v < cur.N()-2; v++ {
+					keep = append(keep, int32(v))
+				}
+				cur = cur.Induced(keep).Graph
+			}
+		}
 	}
 }
 

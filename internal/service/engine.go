@@ -28,17 +28,23 @@ type Config struct {
 	// pool compose to ≈ GOMAXPROCS total instead of multiplying; 1
 	// forces serial algorithms regardless of pool size.
 	AlgoWorkers int
+	// AlgoIterative tunes core-exact's Greed++ pre-solver per query:
+	// 0 keeps the library default (on), negative disables it, positive
+	// sets the iteration budget. Identical answers either way; the knob
+	// trades pre-solve peeling against per-α flow solves.
+	AlgoIterative int
 }
 
 // Engine dispatches (graph, pattern, algo) queries to the dsd library
 // through a bounded worker pool, memoizing results in a single-flight
 // cache so concurrent identical queries compute once.
 type Engine struct {
-	reg         *Registry
-	cache       *Cache
-	sem         chan struct{}
-	timeout     time.Duration
-	algoWorkers int
+	reg           *Registry
+	cache         *Cache
+	sem           chan struct{}
+	timeout       time.Duration
+	algoWorkers   int
+	algoIterative int
 
 	queries  atomic.Int64
 	computes atomic.Int64
@@ -60,11 +66,12 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		}
 	}
 	return &Engine{
-		reg:         reg,
-		cache:       NewCache(),
-		sem:         make(chan struct{}, workers),
-		timeout:     cfg.Timeout,
-		algoWorkers: algoWorkers,
+		reg:           reg,
+		cache:         NewCache(),
+		sem:           make(chan struct{}, workers),
+		timeout:       cfg.Timeout,
+		algoWorkers:   algoWorkers,
+		algoIterative: cfg.AlgoIterative,
 	}
 }
 
@@ -73,6 +80,10 @@ func (e *Engine) Workers() int { return cap(e.sem) }
 
 // AlgoWorkers returns the per-query intra-algorithm worker budget.
 func (e *Engine) AlgoWorkers() int { return e.algoWorkers }
+
+// AlgoIterative returns the per-query iterative pre-solve setting
+// (0 = library default, negative = off, positive = iteration budget).
+func (e *Engine) AlgoIterative() int { return e.algoIterative }
 
 // Query answers the Ψ-densest-subgraph query (graphName, patternName,
 // algo). ctx and timeout (if positive) bound how long this caller waits;
@@ -151,8 +162,9 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 		go func() {
 			defer func() { <-e.sem }()
 			r, err := dsd.PatternDensestWith(algoCtx, entry.G, p, dsd.Config{
-				Algo:    algo,
-				Workers: e.algoWorkers,
+				Algo:      algo,
+				Workers:   e.algoWorkers,
+				Iterative: e.algoIterative,
 			})
 			done <- outcome{r, err}
 		}()
@@ -172,13 +184,14 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 // Stats returns the engine's operational counters.
 func (e *Engine) Stats() wire.StatsResponse {
 	return wire.StatsResponse{
-		Graphs:      e.reg.Len(),
-		Workers:     cap(e.sem),
-		AlgoWorkers: e.algoWorkers,
-		Queries:     e.queries.Load(),
-		Computes:    e.computes.Load(),
-		CacheHits:   e.hits.Load(),
-		Errors:      e.errors.Load(),
+		Graphs:        e.reg.Len(),
+		Workers:       cap(e.sem),
+		AlgoWorkers:   e.algoWorkers,
+		AlgoIterative: e.algoIterative,
+		Queries:       e.queries.Load(),
+		Computes:      e.computes.Load(),
+		CacheHits:     e.hits.Load(),
+		Errors:        e.errors.Load(),
 	}
 }
 

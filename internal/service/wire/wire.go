@@ -22,8 +22,13 @@ type Result struct {
 	DensityNum int64   `json:"density_num"`
 	DensityDen int64   `json:"density_den"`
 	Density    float64 `json:"density"`
-	Iterations int     `json:"iterations,omitempty"`
-	TotalMs    float64 `json:"total_ms"`
+	// Iterations counts flow networks built and solved; PreSolveIters and
+	// PreSolveSkips instrument the Greed++ pre-solver (iterations run, and
+	// component searches that finished without any flow solve).
+	Iterations    int     `json:"iterations,omitempty"`
+	PreSolveIters int     `json:"pre_solve_iters,omitempty"`
+	PreSolveSkips int     `json:"pre_solve_skips,omitempty"`
+	TotalMs       float64 `json:"total_ms"`
 }
 
 // FromResult converts a core result into its wire form.
@@ -32,14 +37,16 @@ func FromResult(res *core.Result) *Result {
 		return nil
 	}
 	return &Result{
-		Vertices:   res.Vertices,
-		Size:       len(res.Vertices),
-		Mu:         res.Mu,
-		DensityNum: res.Density.Num,
-		DensityDen: res.Density.Den,
-		Density:    res.Density.Float(),
-		Iterations: res.Stats.Iterations,
-		TotalMs:    float64(res.Stats.Total) / float64(time.Millisecond),
+		Vertices:      res.Vertices,
+		Size:          len(res.Vertices),
+		Mu:            res.Mu,
+		DensityNum:    res.Density.Num,
+		DensityDen:    res.Density.Den,
+		Density:       res.Density.Float(),
+		Iterations:    res.Stats.Iterations,
+		PreSolveIters: res.Stats.PreSolveIters,
+		PreSolveSkips: res.Stats.PreSolveSkips,
+		TotalMs:       float64(res.Stats.Total) / float64(time.Millisecond),
 	}
 }
 
@@ -100,15 +107,18 @@ func FromStats(name string, s graph.Stats) GraphInfo {
 
 // StatsResponse is the service's operational counters. Workers is the
 // query-pool bound; AlgoWorkers is the per-query intra-algorithm budget
-// (the two compose to the service's total parallelism).
+// (the two compose to the service's total parallelism). AlgoIterative is
+// the per-query Greed++ pre-solve setting (0 = library default,
+// negative = off, positive = iteration budget).
 type StatsResponse struct {
-	Graphs      int   `json:"graphs"`
-	Workers     int   `json:"workers"`
-	AlgoWorkers int   `json:"algo_workers"`
-	Queries     int64 `json:"queries"`
-	Computes    int64 `json:"computes"`
-	CacheHits   int64 `json:"cache_hits"`
-	Errors      int64 `json:"errors"`
+	Graphs        int   `json:"graphs"`
+	Workers       int   `json:"workers"`
+	AlgoWorkers   int   `json:"algo_workers"`
+	AlgoIterative int   `json:"algo_iterative"`
+	Queries       int64 `json:"queries"`
+	Computes      int64 `json:"computes"`
+	CacheHits     int64 `json:"cache_hits"`
+	Errors        int64 `json:"errors"`
 }
 
 // ErrorResponse carries an API error.
