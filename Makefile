@@ -3,10 +3,10 @@
 # before pushing and the gates cannot surprise you.
 
 GO ?= go
-BENCH_OUT ?= BENCH_3.json
-BENCH_PREV ?= BENCH_2.json
+BENCH_OUT ?= BENCH_4.json
+BENCH_PREV ?= BENCH_3.json
 
-.PHONY: check fmt vet build test race bench bench-compare clean
+.PHONY: check fmt vet build test race bench bench-compare api clean
 
 check: fmt vet build race
 
@@ -36,6 +36,13 @@ bench:
 # Diff the fresh artifact against the previous trajectory point.
 bench-compare: bench
 	$(GO) run ./cmd/dsdbench -compare $(BENCH_PREV) $(BENCH_OUT)
+
+# Refresh the exported-API baseline (api/dsd.txt) after an intentional
+# public-surface change. TestAPIStability fails any PR whose surface
+# drifts from the committed baseline, so the v1 wrappers cannot be
+# broken silently.
+api:
+	$(GO) test -run TestAPIStability -count=1 . -args -update
 
 clean:
 	$(GO) clean ./...

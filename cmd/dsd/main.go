@@ -1,15 +1,21 @@
-// Command dsd runs a densest-subgraph algorithm on an edge-list graph.
+// Command dsd runs a densest-subgraph query on an edge-list graph. Every
+// problem variant the library supports is reachable: the flags assemble
+// one dsd.Query (via the shared builder in internal/qflag) and a Solver
+// answers it.
 //
 // Usage:
 //
 //	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-workers 4]
-//	    [-iterative 16] [-print] [-json]
+//	    [-iterative 16] [-anchors 1,2] [-at-least 5] [-eps 0.25]
+//	    [-print] [-json]
 //
 // The motif is any paper pattern name ("edge", "triangle", "4-clique",
 // "2-star", "c3-star", "diamond", "2-triangle", "3-triangle", "basket").
-// Algorithms: exact, core-exact, peel, inc, core-app, nucleus.
-// With -json the result is emitted in the same encoding the dsdd HTTP
-// API uses (a wire.QueryResponse).
+// Algorithms: exact, core-exact, peel, inc, core-app, nucleus, anchored,
+// batch-peel, at-least; with -algo unset the algorithm is inferred from
+// the variant flags (core-exact by default). With -json the result is
+// emitted in the dsdd HTTP API's v2 encoding (a wire.QueryV2Response,
+// including the run's QueryStats).
 package main
 
 import (
@@ -20,9 +26,9 @@ import (
 	"io"
 	"log"
 	"os"
-	"runtime"
 
 	dsd "repro"
+	"repro/internal/qflag"
 	"repro/internal/service/wire"
 )
 
@@ -38,13 +44,17 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsd", flag.ContinueOnError)
 	var (
 		graphPath  = fs.String("graph", "", "edge-list file (required)")
-		motifName  = fs.String("motif", "edge", "motif: edge, triangle, h-clique, or a pattern name")
-		algoName   = fs.String("algo", "core-exact", "algorithm: exact, core-exact, peel, inc, core-app, nucleus")
-		workers    = fs.Int("workers", 0, "parallel workers for core-exact (0 or 1 = serial, -1 = GOMAXPROCS)")
-		iterative  = fs.Int("iterative", 0, "Greed++ pre-solve iterations for core-exact (0 = engine default, -1 = off)")
 		printVerts = fs.Bool("print", false, "print the vertex set of the answer")
-		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd API encoding")
+		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd v2 API encoding")
 	)
+	b := qflag.New()
+	b.Motif(fs, "motif", "edge")
+	b.Algo(fs, "algo", "")
+	b.Workers(fs, "workers", "parallel workers for core-exact (0 or 1 = serial, -1 = GOMAXPROCS)")
+	b.Iterative(fs, "iterative", "Greed++ pre-solve iterations for core-exact (0 = engine default, -1 = off)")
+	b.Anchors(fs, "anchors")
+	b.AtLeast(fs, "at-least")
+	b.Eps(fs, "eps")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,38 +62,30 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing -graph")
 	}
+	q, err := b.Query()
+	if err != nil {
+		return err
+	}
 	g, err := dsd.LoadEdgeList(*graphPath)
 	if err != nil {
 		return err
 	}
-	p, err := dsd.PatternByName(*motifName)
-	if err != nil {
-		return err
-	}
-	w := *workers
-	if w < 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	res, err := dsd.PatternDensestWith(context.Background(), g, p, dsd.Config{
-		Algo:      dsd.Algo(*algoName),
-		Workers:   w,
-		Iterative: *iterative,
-	})
+	res, err := dsd.NewSolver(g).Solve(context.Background(), q)
 	if err != nil {
 		return err
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(wire.QueryResponse{
-			Graph:   *graphPath,
-			Pattern: p.Name(),
-			Algo:    *algoName,
-			Result:  wire.FromResult(res),
+		return enc.Encode(wire.QueryV2Response{
+			Graph:  *graphPath,
+			Query:  wire.FromQuery(q),
+			Result: wire.FromResult(res),
+			Stats:  wire.FromQueryStats(res.Stats),
 		})
 	}
 	fmt.Fprintf(out, "graph: n=%d m=%d\n", g.N(), g.M())
-	fmt.Fprintf(out, "motif: %s  algorithm: %s\n", p.Name(), *algoName)
+	fmt.Fprintf(out, "motif: %s  algorithm: %s\n", q.Psi(), q.Algo)
 	fmt.Fprintf(out, "densest subgraph: |V|=%d  µ=%d  ρ=%.6f  time=%s\n",
 		len(res.Vertices), res.Mu, res.Density.Float(), res.Stats.Total)
 	if *printVerts {

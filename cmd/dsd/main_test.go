@@ -56,13 +56,16 @@ func TestRunJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The output is the service API encoding: a wire.QueryResponse.
-	var resp wire.QueryResponse
+	// The output is the service API's v2 encoding: a wire.QueryV2Response.
+	var resp wire.QueryV2Response
 	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
-		t.Fatalf("output is not a wire.QueryResponse: %v\n%s", err, out.String())
+		t.Fatalf("output is not a wire.QueryV2Response: %v\n%s", err, out.String())
 	}
-	if resp.Graph != path || resp.Pattern != "triangle" || resp.Algo != "core-exact" {
+	if resp.Graph != path || resp.Query.Pattern != "triangle" || resp.Query.Algo != "core-exact" {
 		t.Fatalf("query echo wrong: %+v", resp)
+	}
+	if resp.Stats == nil {
+		t.Fatalf("missing stats: %+v", resp)
 	}
 	if resp.Result == nil || resp.Result.Size != 5 || resp.Result.Mu != 2 ||
 		resp.Result.DensityNum != 2 || resp.Result.DensityDen != 5 {
@@ -81,7 +84,7 @@ func TestRunIterativeFlag(t *testing.T) {
 		if err != nil {
 			t.Fatalf("-iterative %s: %v", iter, err)
 		}
-		var resp wire.QueryResponse
+		var resp wire.QueryV2Response
 		if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
 			t.Fatalf("-iterative %s: %v", iter, err)
 		}
@@ -94,6 +97,42 @@ func TestRunIterativeFlag(t *testing.T) {
 		if iter == "8" && resp.Result.PreSolveIters == 0 {
 			t.Fatal("-iterative 8 reports no pre-solve iterations")
 		}
+	}
+}
+
+// TestRunVariantFlags drives the problem variants through the shared
+// Query builder: the algorithm is inferred from the variant flag alone.
+func TestRunVariantFlags(t *testing.T) {
+	path := writeTempGraph(t)
+	cases := []struct {
+		args []string
+		algo string
+	}{
+		{[]string{"-anchors", "3"}, "anchored"},
+		{[]string{"-at-least", "4"}, "at-least"},
+		{[]string{"-eps", "0.5"}, "batch-peel"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		args := append([]string{"-graph", path, "-json"}, c.args...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		var resp wire.QueryV2Response
+		if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if resp.Query.Algo != c.algo {
+			t.Fatalf("%v: inferred algo %q, want %q", c.args, resp.Query.Algo, c.algo)
+		}
+		if resp.Result == nil || resp.Result.Size == 0 {
+			t.Fatalf("%v: empty result %+v", c.args, resp.Result)
+		}
+	}
+	// Conflicting variant parameters fail at flag assembly, not mid-run.
+	var out bytes.Buffer
+	if err := run([]string{"-graph", path, "-anchors", "1", "-algo", "peel"}, &out); err == nil {
+		t.Fatal("anchors with algo=peel accepted")
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/qflag"
 )
 
 func main() {
@@ -41,23 +42,30 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
 	var (
-		runID     = fs.String("run", "", "experiment id, or \"all\"")
-		list      = fs.Bool("list", false, "list experiments")
-		div       = fs.Int("div", 1, "extra dataset downscale divisor")
-		maxh      = fs.Int("maxh", 6, "largest clique size to sweep")
-		quick     = fs.Bool("quick", false, "smoke-test sizes")
-		ibudget   = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
-		workers   = fs.Int("workers", 0, "perf-suite parallel arm worker count (0 = the reference arm of 4)")
-		iterative = fs.Int("iterative", 0, "perf-suite iterative arm pre-solve budget, > 0 (0 = the engine default)")
-		asJSON    = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
-		outPath   = fs.String("out", "", "write the -json report to this file instead of stdout")
-		validate  = fs.String("validate", "", "validate a BENCH_*.json report and exit")
-		compare   = fs.Bool("compare", false, "diff two BENCH_*.json reports (args: OLD NEW) and exit")
+		runID    = fs.String("run", "", "experiment id, or \"all\"")
+		list     = fs.Bool("list", false, "list experiments")
+		div      = fs.Int("div", 1, "extra dataset downscale divisor")
+		maxh     = fs.Int("maxh", 6, "largest clique size to sweep")
+		quick    = fs.Bool("quick", false, "smoke-test sizes")
+		ibudget  = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
+		asJSON   = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
+		outPath  = fs.String("out", "", "write the -json report to this file instead of stdout")
+		validate = fs.String("validate", "", "validate a BENCH_*.json report and exit")
+		compare  = fs.Bool("compare", false, "diff two BENCH_*.json reports (args: OLD NEW) and exit")
 	)
+	// The suite's arm knobs go through the shared Query builder so their
+	// semantics (-1 = GOMAXPROCS workers) match the other CLIs.
+	b := qflag.New()
+	b.Workers(fs, "workers", "perf-suite parallel arm worker count (0 = the reference arm of 4, -1 = GOMAXPROCS)")
+	b.Iterative(fs, "iterative", "perf-suite iterative arm pre-solve budget, > 0 (0 = the engine default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *iterative < 0 {
+	q, err := b.Query()
+	if err != nil {
+		return err
+	}
+	if q.Iterative < 0 {
 		// Unlike dsd's -iterative, there is no "off" here: the suite's
 		// serial arm already measures the pre-solver disabled, so a
 		// negative budget can only be a misread of the flag.
@@ -113,8 +121,8 @@ func run(args []string, out io.Writer) error {
 	if *ibudget > 0 {
 		cfg.InstanceBudget = *ibudget
 	}
-	cfg.Workers = *workers
-	cfg.Iterative = *iterative
+	cfg.Workers = q.Workers
+	cfg.Iterative = q.Iterative
 
 	if *asJSON {
 		if *runID != "perfsuite" {

@@ -8,8 +8,10 @@
 //	dsdd [-addr :8080] [-workers 8] [-algo-workers 2] [-algo-iterative 16]
 //	     [-timeout 30s] [-graph name=edges.txt ...] [-allow-paths]
 //
-// API: POST /v1/query, GET/POST /v1/graphs, GET /v1/stats, GET /healthz.
+// API: POST /v2/query (any dsd.Query), POST /v1/query (legacy triple),
+// GET/POST /v1/graphs, GET /v1/stats, GET /healthz.
 //
+//	curl -s localhost:8080/v2/query -d '{"graph":"web","query":{"pattern":"triangle","algo":"core-exact"}}'
 //	curl -s localhost:8080/v1/query -d '{"graph":"web","pattern":"triangle","algo":"core-exact"}'
 package main
 
@@ -24,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/qflag"
 	"repro/internal/service"
 )
 
@@ -64,19 +67,27 @@ func run(args []string, out io.Writer) error {
 }
 
 // newServer parses args, preloads graphs, and builds the HTTP server.
+// The per-query default knobs come through the shared Query builder
+// (internal/qflag), so -algo-workers/-algo-iterative mean exactly what
+// cmd/dsd's -workers/-iterative mean.
 func newServer(args []string) (*service.Server, string, error) {
 	fs := flag.NewFlagSet("dsdd", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", ":8080", "listen address")
-		workers     = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
-		algoWorkers = fs.Int("algo-workers", 0, "parallel workers inside each core-exact query (0 = GOMAXPROCS/workers, 1 = serial)")
-		algoIter    = fs.Int("algo-iterative", 0, "Greed++ pre-solve iterations inside each core-exact query (0 = engine default, -1 = off)")
-		timeout     = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
-		allowPaths  = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
-		graphs      graphSpecs
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
+		allowPaths = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
+		graphs     graphSpecs
 	)
+	b := qflag.New()
+	b.Workers(fs, "algo-workers", "default parallel workers inside each core-exact query (0 = GOMAXPROCS/workers, 1 = serial, -1 = GOMAXPROCS)")
+	b.Iterative(fs, "algo-iterative", "default Greed++ pre-solve iterations inside each core-exact query (0 = engine default, -1 = off)")
 	fs.Var(&graphs, "graph", "preload a graph as name=edge-list-path (repeatable)")
 	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	q, err := b.Query()
+	if err != nil {
 		return nil, "", err
 	}
 	reg := service.NewRegistry()
@@ -88,8 +99,8 @@ func newServer(args []string) (*service.Server, string, error) {
 	}
 	srv := service.NewServer(reg, service.Config{
 		Workers:       *workers,
-		AlgoWorkers:   *algoWorkers,
-		AlgoIterative: *algoIter,
+		AlgoWorkers:   q.Workers,
+		AlgoIterative: q.Iterative,
 		Timeout:       *timeout,
 	})
 	if *allowPaths {

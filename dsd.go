@@ -16,11 +16,19 @@
 //   - IncApp / CoreApp: the (kmax,Ψ)-core as a 1/|VΨ|-approximation,
 //     computed bottom-up or top-down (Algorithms 5 and 6).
 //
-// Quick start:
+// The unified entrypoint is a Solver over one graph answering Query
+// values — every problem variant (EDS/CDS/PDS, anchored, at-least-k,
+// batch-peel, pruning ablations) is one Query, and repeated queries with
+// the same Ψ reuse the memoized per-graph state:
 //
 //	g := dsd.FromEdges(4, [][2]int{{0,1},{0,2},{1,2},{2,3}})
-//	res, _ := dsd.CliqueDensest(g, 3, dsd.AlgoCoreExact)
+//	s := dsd.NewSolver(g)
+//	res, _ := s.Solve(ctx, dsd.Query{H: 3})           // triangle-densest, CoreExact
+//	res, _ = s.Solve(ctx, dsd.Query{H: 3, Algo: dsd.AlgoPeel}) // Ψ-state reused
 //	fmt.Println(res.Density.Float(), res.Vertices)
+//
+// The pre-Solver entrypoints (CliqueDensest, PatternDensest, and their
+// With/Context variants) remain as thin wrappers over a throwaway Solver.
 package dsd
 
 import (
@@ -51,7 +59,8 @@ type Builder = graph.Builder
 // Pattern is a connected pattern graph Ψ for pattern-density queries.
 type Pattern = pattern.Pattern
 
-// Result is a densest-subgraph answer (vertex set, µ, exact density).
+// Result is a densest-subgraph answer (vertex set, µ, exact density);
+// its Stats field carries the run's QueryStats.
 type Result = core.Result
 
 // Density is an exact rational density µ/n.
@@ -94,68 +103,45 @@ var (
 	DiamondPattern = pattern.Diamond
 )
 
-// Algo selects a densest-subgraph algorithm.
-type Algo string
-
-// The available algorithms. Exact algorithms return the true optimum;
-// approximation algorithms guarantee density ≥ ρopt/|VΨ|.
-const (
-	AlgoExact     Algo = "exact"      // Algorithm 1 / 8 (baseline exact)
-	AlgoCoreExact Algo = "core-exact" // Algorithm 4 / CorePExact (this paper)
-	AlgoPeel      Algo = "peel"       // Algorithm 2 (baseline approximation)
-	AlgoInc       Algo = "inc"        // Algorithm 5 (core, bottom-up)
-	AlgoCoreApp   Algo = "core-app"   // Algorithm 6 (core, top-down; this paper)
-	AlgoNucleus   Algo = "nucleus"    // nucleus-decomposition baseline
-)
-
 // EdgeDensest finds the edge-densest subgraph (EDS) of g.
+//
+// Deprecated: use NewSolver(g).Solve with a zero-motif Query.
 func EdgeDensest(g *Graph, algo Algo) (*Result, error) { return CliqueDensest(g, 2, algo) }
 
-// CliqueDensest finds the h-clique densest subgraph (CDS) of g (h ≥ 2).
-func CliqueDensest(g *Graph, h int, algo Algo) (*Result, error) {
+// checkH preserves the legacy wrappers' contract: unlike Query, whose
+// documented zero value means "edge", the h-typed entrypoints have
+// always rejected h outside [2,8] — h=0 from an unset config must stay
+// a loud error, not a silent edge-density answer.
+func checkH(h int) error {
 	if h < 2 || h > 8 {
-		return nil, fmt.Errorf("dsd: clique size h=%d out of supported range [2,8]", h)
+		return fmt.Errorf("dsd: clique size h=%d out of supported range [2,8]", h)
 	}
-	o := motif.Clique{H: h}
-	switch algo {
-	case AlgoExact:
-		return core.Exact(g, h), nil
-	case AlgoCoreExact:
-		return core.CoreExact(g, h), nil
-	case AlgoPeel:
-		return core.PeelApp(g, o), nil
-	case AlgoInc:
-		return core.IncApp(g, o), nil
-	case AlgoCoreApp:
-		return core.CoreApp(g, o), nil
-	case AlgoNucleus:
-		return core.Nucleus(g, o), nil
+	return nil
+}
+
+// CliqueDensest finds the h-clique densest subgraph (CDS) of g (h ≥ 2).
+//
+// Deprecated: use NewSolver(g).Solve(ctx, Query{H: h, Algo: algo}).
+func CliqueDensest(g *Graph, h int, algo Algo) (*Result, error) {
+	if err := checkH(h); err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("dsd: unknown algorithm %q", algo)
+	return NewSolver(g).Solve(context.Background(), Query{H: h, Algo: algo})
 }
 
 // PatternDensest finds the pattern densest subgraph (PDS) of g w.r.t. p.
+//
+// Deprecated: use NewSolver(g).Solve(ctx, Query{Pattern: p, Algo: algo}).
 func PatternDensest(g *Graph, p *Pattern, algo Algo) (*Result, error) {
-	switch algo {
-	case AlgoExact:
-		return core.PExact(g, p), nil
-	case AlgoCoreExact:
-		return core.CorePExact(g, p), nil
-	case AlgoPeel:
-		return core.PeelAppPattern(g, p), nil
-	case AlgoInc:
-		return core.IncAppPattern(g, p), nil
-	case AlgoCoreApp:
-		return core.CoreAppPattern(g, p), nil
-	case AlgoNucleus:
-		return core.Nucleus(g, motif.For(p)), nil
-	}
-	return nil, fmt.Errorf("dsd: unknown algorithm %q", algo)
+	return NewSolver(g).Solve(context.Background(), Query{Pattern: p, Algo: algo})
 }
 
 // Config configures a densest-subgraph computation beyond the algorithm
 // choice. The zero value selects AlgoCoreExact, serial execution, and the
 // default prunings.
+//
+// Deprecated: Query carries the same knobs (and the problem-variant
+// parameters Config never had); use Solver.Solve.
 type Config struct {
 	// Algo selects the algorithm ("" = AlgoCoreExact).
 	Algo Algo
@@ -179,95 +165,51 @@ type Config struct {
 	Core *CoreExactOptions
 }
 
-// coreOptions resolves the effective CoreExact options.
-func (c Config) coreOptions() core.Options {
-	opts := core.DefaultOptions()
-	if c.Core != nil {
-		opts = *c.Core
-	}
-	opts.Workers = c.Workers
-	switch {
-	case c.Iterative < 0:
-		opts.Iterative = 0
-	case c.Iterative > 0:
-		opts.Iterative = c.Iterative
-	}
-	return opts
+// query converts the legacy Config into its Query equivalent.
+func (c Config) query() Query {
+	return Query{Algo: c.Algo, Workers: c.Workers, Iterative: c.Iterative, Core: c.Core}
 }
 
-// algo resolves the effective algorithm.
-func (c Config) algo() Algo {
-	if c.Algo == "" {
-		return AlgoCoreExact
-	}
-	return c.Algo
-}
-
-// CliqueDensestWith is CliqueDensest under a Config, bounded by ctx: it
-// returns ctx.Err() as soon as ctx is cancelled or times out. For
-// core-exact the cancellation is cooperative — the decomposition and
-// every component search poll ctx, so the computation itself stops within
-// one flow solve instead of running to completion. The other algorithms
-// are not preemptible mid-run; their discarded computation finishes on a
-// background goroutine. Callers that share a graph across queries (e.g.
-// the dsdd service) rely on the algorithms being read-only on g.
+// CliqueDensestWith is CliqueDensest under a Config, bounded by ctx; see
+// Solve for the cancellation contract.
+//
+// Deprecated: use NewSolver(g).Solve with a Query.
 func CliqueDensestWith(ctx context.Context, g *Graph, h int, cfg Config) (*Result, error) {
-	if h < 2 || h > 8 {
-		return nil, fmt.Errorf("dsd: clique size h=%d out of supported range [2,8]", h)
+	if err := checkH(h); err != nil {
+		return nil, err
 	}
-	if cfg.algo() == AlgoCoreExact {
-		return await(ctx, func() (*Result, error) {
-			return core.CoreExactCtx(ctx, g, h, cfg.coreOptions())
-		})
-	}
-	return await(ctx, func() (*Result, error) { return CliqueDensest(g, h, cfg.algo()) })
+	q := cfg.query()
+	q.H = h
+	return NewSolver(g).Solve(ctx, q)
 }
 
 // PatternDensestWith is PatternDensest under a Config, bounded by ctx;
-// see CliqueDensestWith for the cancellation contract.
+// see Solve for the cancellation contract.
+//
+// Deprecated: use NewSolver(g).Solve with a Query.
 func PatternDensestWith(ctx context.Context, g *Graph, p *Pattern, cfg Config) (*Result, error) {
-	if cfg.algo() == AlgoCoreExact {
-		return await(ctx, func() (*Result, error) {
-			return core.CorePExactCtx(ctx, g, p, cfg.coreOptions())
-		})
-	}
-	return await(ctx, func() (*Result, error) { return PatternDensest(g, p, cfg.algo()) })
+	q := cfg.query()
+	q.Pattern = p
+	return NewSolver(g).Solve(ctx, q)
 }
 
 // CliqueDensestContext is CliqueDensestWith with a bare algorithm choice
 // and serial execution.
+//
+// Deprecated: use NewSolver(g).Solve(ctx, Query{H: h, Algo: algo}).
 func CliqueDensestContext(ctx context.Context, g *Graph, h int, algo Algo) (*Result, error) {
-	return CliqueDensestWith(ctx, g, h, Config{Algo: algo})
+	if err := checkH(h); err != nil {
+		return nil, err
+	}
+	return NewSolver(g).Solve(ctx, Query{H: h, Algo: algo})
 }
 
 // PatternDensestContext is PatternDensestWith with a bare algorithm
 // choice and serial execution.
+//
+// Deprecated: use NewSolver(g).Solve(ctx, Query{Pattern: p, Algo: algo}).
 func PatternDensestContext(ctx context.Context, g *Graph, p *Pattern, algo Algo) (*Result, error) {
-	return PatternDensestWith(ctx, g, p, Config{Algo: algo})
-}
-
-// await runs fn on its own goroutine and returns its result, unless ctx
-// ends first, in which case ctx.Err() wins and fn's eventual result is
-// dropped.
-func await(ctx context.Context, fn func() (*Result, error)) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	type outcome struct {
-		res *Result
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		res, err := fn()
-		done <- outcome{res, err}
-	}()
-	select {
-	case o := <-done:
-		return o.res, o.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	return NewSolver(g).Solve(ctx, Query{Pattern: p, Algo: algo})
 }
 
 // CoreExactOptions exposes CoreExact's pruning switches for ablation.
@@ -275,29 +217,43 @@ type CoreExactOptions = core.Options
 
 // CliqueDensestCoreExactOpts runs CoreExact with explicit pruning options
 // (Figure 10's P1/P2/P3 variants).
+//
+// Deprecated: use NewSolver(g).Solve with Query{Core: &opts}; unlike this
+// wrapper, Solve also surfaces validation errors (h out of range) instead
+// of returning nil.
 func CliqueDensestCoreExactOpts(g *Graph, h int, opts CoreExactOptions) *Result {
-	return core.CoreExactOpts(g, h, opts)
+	res, _ := NewSolver(g).Solve(context.Background(), Query{
+		H: h, Algo: AlgoCoreExact, Core: &opts,
+		Workers: opts.Workers, Iterative: opts.Iterative,
+	})
+	return res
 }
 
 // QueryDensest solves the Section-6.3 variant: the edge-densest subgraph
 // among those containing every query vertex, located in a query-anchored
 // core instead of the whole graph.
+//
+// Deprecated: use NewSolver(g).Solve(ctx, Query{Anchors: query}).
 func QueryDensest(g *Graph, query []int32) (*Result, error) {
-	return core.QueryDensest(g, query)
+	return NewSolver(g).Solve(context.Background(), Query{Algo: AlgoAnchored, Anchors: query})
 }
 
 // BatchPeelDensest is the streaming-model approximation of Bahmani et al.
 // (the paper's reference [6]): batch-removal passes instead of one vertex
 // at a time, giving a 1/((1+ε)·|VΨ|)-approximation in O(log n / ε) passes.
+//
+// Deprecated: use NewSolver(g).Solve(ctx, Query{Pattern: p, Eps: eps}).
 func BatchPeelDensest(g *Graph, p *Pattern, eps float64) (*Result, error) {
-	return core.BatchPeel(g, motif.For(p), eps)
+	return NewSolver(g).Solve(context.Background(), Query{Pattern: p, Algo: AlgoBatchPeel, Eps: eps})
 }
 
 // DensestAtLeast is the size-constrained greedy heuristic of Andersen &
 // Chellapilla (the paper's reference [3]): the densest residual subgraph
 // with at least k vertices. The exact size-constrained problem is NP-hard.
+//
+// Deprecated: use NewSolver(g).Solve(ctx, Query{Pattern: p, AtLeast: k}).
 func DensestAtLeast(g *Graph, p *Pattern, k int) (*Result, error) {
-	return core.PeelAppAtLeast(g, motif.For(p), k)
+	return NewSolver(g).Solve(context.Background(), Query{Pattern: p, Algo: AlgoAtLeast, AtLeast: k})
 }
 
 // VerifyResult checks a result's certificates against g: µ/ρ consistency

@@ -1,0 +1,7 @@
+package dsd
+
+// AwaitOrphans exposes the orphaned-computation counter to the package
+// tests: it advances exactly when a cancelled non-preemptible run
+// finishes on its background goroutine and is dropped (see Solve's
+// cancellation contract).
+func AwaitOrphans() int64 { return awaitOrphans.Load() }

@@ -22,6 +22,14 @@ import (
 // the subgraph left by peeling non-query vertices of degree < ⌈x/2⌉ —
 // instead of the whole graph.
 func QueryDensest(g *graph.Graph, query []int32) (*Result, error) {
+	return QueryDensestWithState(g, query, nil)
+}
+
+// QueryDensestWithState is QueryDensest reusing a precomputed classical
+// k-core decomposition of g (nil computes one) — the per-graph locate
+// state a warm dsd.Solver shares across anchored queries. dec is only
+// read.
+func QueryDensestWithState(g *graph.Graph, query []int32, dec *kcore.Decomposition) (*Result, error) {
 	start := time.Now()
 	n := g.N()
 	if len(query) == 0 {
@@ -37,7 +45,10 @@ func QueryDensest(g *graph.Graph, query []int32) (*Result, error) {
 
 	// Locate: x = min core number over Q; peel non-query vertices below
 	// ⌈x/2⌉.
-	dec := kcore.Decompose(g)
+	reused := dec != nil
+	if dec == nil {
+		dec = kcore.Decompose(g)
+	}
 	x := dec.Core[query[0]]
 	for _, q := range query {
 		if dec.Core[q] < x {
@@ -74,6 +85,7 @@ func QueryDensest(g *graph.Graph, query []int32) (*Result, error) {
 	stop := 1.0 / (float64(nn) * float64(nn-1))
 	if nn < 2 {
 		res := evaluate(g, motif.Clique{H: 2}, []int32{query[0]})
+		res.Stats.ReusedDecomposition = reused
 		res.Stats.Total = time.Since(start)
 		return res, nil
 	}
@@ -97,6 +109,7 @@ func QueryDensest(g *graph.Graph, query []int32) (*Result, error) {
 	}
 	res := evaluate(g, motif.Clique{H: 2}, best)
 	res.Stats = stats
+	res.Stats.ReusedDecomposition = reused
 	res.Stats.Total = time.Since(start)
 	return res, nil
 }

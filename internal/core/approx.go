@@ -18,15 +18,29 @@ import (
 // PeelApp is Algorithm 2: repeatedly remove the vertex with minimum
 // Ψ-degree and return the densest residual subgraph.
 func PeelApp(g *graph.Graph, o motif.Oracle) *Result {
+	return PeelAppWithState(g, o, nil)
+}
+
+// PeelAppWithState is PeelApp reusing a precomputed (k,Ψ)-core
+// decomposition (nil computes one): the answer is read straight off the
+// decomposition's residual-density tracking, so a warm dsd.Solver serves
+// it without touching the graph. dec is only read.
+func PeelAppWithState(g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition) *Result {
 	start := time.Now()
-	dec := psicore.Decompose(g, o)
+	reused := dec != nil
+	if dec == nil {
+		dec = psicore.Decompose(g, o)
+	}
 	res := &Result{
 		Vertices: dec.BestResidualVertices(),
 		Mu:       dec.BestResidualMu,
 		Density:  dec.BestResidual,
 	}
 	sortVertices(res.Vertices)
-	res.Stats.Decompose = time.Since(start)
+	if !reused {
+		res.Stats.Decompose = time.Since(start)
+	}
+	res.Stats.ReusedDecomposition = reused
 	res.Stats.Total = time.Since(start)
 	return res
 }
@@ -34,10 +48,22 @@ func PeelApp(g *graph.Graph, o motif.Oracle) *Result {
 // IncApp is Algorithm 5: full (k,Ψ)-core decomposition, returning the
 // (kmax,Ψ)-core.
 func IncApp(g *graph.Graph, o motif.Oracle) *Result {
+	return IncAppWithState(g, o, nil)
+}
+
+// IncAppWithState is IncApp reusing a precomputed decomposition (nil
+// computes one); only the (kmax,Ψ)-core's own µ is re-counted.
+func IncAppWithState(g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition) *Result {
 	start := time.Now()
-	dec := psicore.Decompose(g, o)
+	reused := dec != nil
+	if dec == nil {
+		dec = psicore.Decompose(g, o)
+	}
 	res := evaluate(g, o, dec.KMaxCoreVertices())
-	res.Stats.Decompose = time.Since(start)
+	if !reused {
+		res.Stats.Decompose = time.Since(start)
+	}
+	res.Stats.ReusedDecomposition = reused
 	res.Stats.Total = time.Since(start)
 	return res
 }
@@ -55,10 +81,24 @@ func CoreApp(g *graph.Graph, o motif.Oracle) *Result {
 // Nucleus is the baseline that computes the (kmax,Ψ)-core with the
 // local (AND-style) nucleus decomposition instead of peeling.
 func Nucleus(g *graph.Graph, o motif.Oracle) *Result {
+	return NucleusWithState(g, o, nil)
+}
+
+// NucleusWithState is Nucleus reusing a precomputed nucleus decomposition
+// (nil computes one). dec must come from psicore.NucleusDecompose — the
+// nucleus core numbers differ from the peel decomposition's, so the two
+// memo kinds are never interchangeable.
+func NucleusWithState(g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition) *Result {
 	start := time.Now()
-	dec := psicore.NucleusDecompose(g, o)
+	reused := dec != nil
+	if dec == nil {
+		dec = psicore.NucleusDecompose(g, o)
+	}
 	res := evaluate(g, o, dec.KMaxCoreVertices())
-	res.Stats.Decompose = time.Since(start)
+	if !reused {
+		res.Stats.Decompose = time.Since(start)
+	}
+	res.Stats.ReusedDecomposition = reused
 	res.Stats.Total = time.Since(start)
 	return res
 }

@@ -16,12 +16,26 @@ import (
 // O(log n / ε) passes over the graph are needed. The best residual is a
 // 1/((1+ε)|VΨ|)-approximation of the densest subgraph.
 func BatchPeel(g *graph.Graph, o motif.Oracle, eps float64) (*Result, error) {
+	return BatchPeelWithState(g, o, eps, 0, nil)
+}
+
+// BatchPeelWithState is BatchPeel reusing a precomputed whole-graph
+// Ψ-degree vector (total = µ(G,Ψ), deg = per-vertex Ψ-degrees, exactly
+// o.CountAndDegrees(g)'s results; nil deg computes them). The peel
+// mutates a private copy, so one memoized vector may serve any number of
+// concurrent calls.
+func BatchPeelWithState(g *graph.Graph, o motif.Oracle, eps float64, total int64, deg []int64) (*Result, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("core: BatchPeel needs ε > 0, got %f", eps)
 	}
 	start := time.Now()
 	st := motif.NewState(g)
-	total, deg := o.CountAndDegrees(g)
+	reused := deg != nil
+	if deg == nil {
+		total, deg = o.CountAndDegrees(g)
+	} else {
+		deg = append([]int64(nil), deg...)
+	}
 	mu := total
 	alive := int64(g.N())
 	best := rational.Zero
@@ -66,6 +80,7 @@ func BatchPeel(g *graph.Graph, o motif.Oracle, eps float64) (*Result, error) {
 		}
 	}
 	res := &Result{Vertices: bestSet, Mu: best.Num, Density: best}
+	res.Stats.ReusedDegrees = reused
 	res.Stats.Total = time.Since(start)
 	return res, nil
 }
@@ -76,11 +91,24 @@ func BatchPeel(g *graph.Graph, o motif.Oracle, eps float64) (*Result, error) {
 // a 1/3-approximation of the optimal ≥k-vertex subgraph; the exact problem
 // is NP-hard [5,4].
 func PeelAppAtLeast(g *graph.Graph, o motif.Oracle, k int) (*Result, error) {
+	return PeelAppAtLeastWithState(g, o, k, 0, nil)
+}
+
+// PeelAppAtLeastWithState is PeelAppAtLeast reusing a precomputed
+// whole-graph Ψ-degree vector (see BatchPeelWithState for the contract;
+// nil deg computes it). The trace peels a private copy.
+func PeelAppAtLeastWithState(g *graph.Graph, o motif.Oracle, k int, total int64, deg []int64) (*Result, error) {
 	if k < 1 || k > g.N() {
 		return nil, fmt.Errorf("core: size bound k=%d outside [1,%d]", k, g.N())
 	}
 	start := time.Now()
-	dec := peelTrace(g, o)
+	reused := deg != nil
+	if deg == nil {
+		total, deg = o.CountAndDegrees(g)
+	} else {
+		deg = append([]int64(nil), deg...)
+	}
+	dec := peelTraceFrom(g, o, total, deg)
 	best := rational.Zero
 	bestStart := -1
 	// Residual after i removals has n-i vertices; require n-i ≥ k.
@@ -95,6 +123,7 @@ func PeelAppAtLeast(g *graph.Graph, o motif.Oracle, k int) (*Result, error) {
 		res.Vertices = append([]int32(nil), dec.order[bestStart:]...)
 		sortVertices(res.Vertices)
 	}
+	res.Stats.ReusedDegrees = reused
 	res.Stats.Total = time.Since(start)
 	return res, nil
 }
@@ -107,8 +136,14 @@ type trace struct {
 }
 
 func peelTrace(g *graph.Graph, o motif.Oracle) *trace {
-	st := motif.NewState(g)
 	total, deg := o.CountAndDegrees(g)
+	return peelTraceFrom(g, o, total, deg)
+}
+
+// peelTraceFrom is peelTrace over caller-supplied degrees; deg is
+// consumed (decremented in place).
+func peelTraceFrom(g *graph.Graph, o motif.Oracle, total int64, deg []int64) *trace {
+	st := motif.NewState(g)
 	// Reuse the bucket-queue peel from psicore by inlining a simple exact
 	// min scan here: the trace is used by small-to-medium workloads and
 	// keeps this file self-contained. Complexity O(n²) worst case is

@@ -94,6 +94,23 @@ func CoreExactCtx(ctx context.Context, g *graph.Graph, h int, opts Options) (*Re
 	return coreExactDriver(ctx, g, motif.Clique{H: h}, opts)
 }
 
+// CoreExactWithState is CoreExactCtx reusing a precomputed (k,Ψ)-core
+// decomposition of g for Ψ = h-clique (nil dec computes one): step 1 of
+// Algorithm 4 — the dominant fixed cost on dense-motif graphs — is
+// skipped entirely, which is how a warm dsd.Solver answers a repeat-Ψ
+// query. dec must be exactly psicore.Decompose(g, motif.Clique{H:h})'s
+// result; it is only read, so one decomposition may serve any number of
+// concurrent searches.
+func CoreExactWithState(ctx context.Context, g *graph.Graph, h int, opts Options, dec *psicore.Decomposition) (*Result, error) {
+	return coreExactDriverState(ctx, g, motif.Clique{H: h}, opts, dec)
+}
+
+// CorePExactWithState is CorePExactCtx reusing a precomputed pattern-core
+// decomposition (nil dec computes one); see CoreExactWithState.
+func CorePExactWithState(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Options, dec *psicore.Decomposition) (*Result, error) {
+	return coreExactDriverState(ctx, g, motif.For(p), opts, dec)
+}
+
 // CorePExact is the core-based exact PDS algorithm (Section 7.2): the
 // CoreExact skeleton over pattern cores with the construct+ network.
 func CorePExact(g *graph.Graph, p *pattern.Pattern) *Result {
@@ -113,6 +130,10 @@ func CorePExactCtx(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts
 }
 
 func coreExactDriver(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Options) (*Result, error) {
+	return coreExactDriverState(ctx, g, o, opts, nil)
+}
+
+func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Options, dec *psicore.Decomposition) (*Result, error) {
 	start := time.Now()
 	var stats Stats
 	workers := opts.Workers
@@ -121,12 +142,21 @@ func coreExactDriver(ctx context.Context, g *graph.Graph, o motif.Oracle, opts O
 	}
 
 	// Step 1: (k,Ψ)-core decomposition (Algorithm 4 line 1), with the
-	// clique-degree seeding striped across workers when parallel.
-	dec, err := psicore.DecomposeContext(ctx, g, o, workers)
-	if err != nil {
-		return nil, err
+	// clique-degree seeding striped across workers when parallel — unless
+	// the caller already holds one, in which case the whole step is free.
+	if dec == nil {
+		var err error
+		dec, err = psicore.DecomposeContext(ctx, g, o, workers)
+		if err != nil {
+			return nil, err
+		}
+		stats.Decompose = time.Since(start)
+	} else {
+		stats.ReusedDecomposition = true
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
-	stats.Decompose = time.Since(start)
 	if dec.TotalInstances == 0 {
 		r := &Result{}
 		r.Stats = stats

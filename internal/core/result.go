@@ -42,6 +42,15 @@ type Stats struct {
 	// proved the component cannot beat the shared lower bound or closed
 	// the binary-search gap outright.
 	PreSolveSkips int
+	// ReusedDecomposition reports that the run was handed a precomputed
+	// (k,Ψ)-core (or nucleus, or classical-core) decomposition via a
+	// *WithState entrypoint instead of computing its own — the hot path a
+	// warm dsd.Solver serves; Decompose is zero on such runs.
+	ReusedDecomposition bool
+	// ReusedDegrees reports that the run was handed the whole-graph
+	// Ψ-degree vector via a *WithState entrypoint instead of enumerating
+	// instances itself.
+	ReusedDegrees bool
 }
 
 // evaluate builds the Result for the subgraph of g induced by vs.

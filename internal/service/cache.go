@@ -7,13 +7,15 @@ import (
 	"repro/internal/core"
 )
 
-// Key identifies a query for caching: a registered graph name, a pattern
-// name, and an algorithm. Graph names are never re-bound (see
-// Registry.Register), so a key denotes one immutable computation.
+// Key identifies a query for caching: a registered graph name and the
+// canonical encoding of the query (dsd.Query.Key), which covers the
+// motif, algorithm, execution knobs, and every problem-variant parameter
+// — two queries differing in any field the algorithm consumes never
+// share an entry. Graph names are never re-bound (see Registry.Register),
+// so a key denotes one immutable computation.
 type Key struct {
-	Graph   string
-	Pattern string
-	Algo    string
+	Graph string
+	Query string
 }
 
 // cacheEntry is a materialized-or-in-flight computation. ready is closed

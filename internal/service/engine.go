@@ -22,22 +22,27 @@ type Config struct {
 	// bounds how long that caller waits; the shared computation answers
 	// to this budget alone.
 	Timeout time.Duration
-	// AlgoWorkers bounds intra-query parallelism for algorithms with a
-	// parallel engine (core-exact). 0 derives it from the pool size as
+	// AlgoWorkers is the default Query.Workers for queries that leave it
+	// zero: intra-query parallelism for algorithms with a parallel engine
+	// (core-exact). 0 derives it from the pool size as
 	// max(1, GOMAXPROCS/Workers), so the query pool and the algorithm
 	// pool compose to ≈ GOMAXPROCS total instead of multiplying; 1
 	// forces serial algorithms regardless of pool size.
 	AlgoWorkers int
-	// AlgoIterative tunes core-exact's Greed++ pre-solver per query:
-	// 0 keeps the library default (on), negative disables it, positive
-	// sets the iteration budget. Identical answers either way; the knob
-	// trades pre-solve peeling against per-α flow solves.
+	// AlgoIterative is the default Query.Iterative for queries that leave
+	// it zero: 0 keeps the library default (on), negative disables the
+	// Greed++ pre-solver, positive sets the iteration budget. Identical
+	// answers either way; the knob trades pre-solve peeling against
+	// per-α flow solves.
 	AlgoIterative int
 }
 
-// Engine dispatches (graph, pattern, algo) queries to the dsd library
-// through a bounded worker pool, memoizing results in a single-flight
-// cache so concurrent identical queries compute once.
+// Engine dispatches dsd.Query values against registered graphs through a
+// bounded worker pool, memoizing results in a single-flight cache keyed
+// on the query's canonical encoding, so concurrent identical queries
+// compute once. The algorithms themselves run on the registry's
+// per-graph Solvers, which memoize per-Ψ state across cache misses —
+// distinct queries on a hot graph still skip the decomposition.
 type Engine struct {
 	reg           *Registry
 	cache         *Cache
@@ -85,13 +90,26 @@ func (e *Engine) AlgoWorkers() int { return e.algoWorkers }
 // (0 = library default, negative = off, positive = iteration budget).
 func (e *Engine) AlgoIterative() int { return e.algoIterative }
 
-// Query answers the Ψ-densest-subgraph query (graphName, patternName,
-// algo). ctx and timeout (if positive) bound how long this caller waits;
-// the computation itself is bounded only by the engine-wide budget, since
-// under single flight it serves every waiter on the key and one impatient
-// client must not void it for the rest. cached reports that the answer
-// was served without running the algorithm on this request's behalf (a
-// cache hit or a single-flight join).
+// Solve answers q against the graph registered under graphName. ctx and
+// timeout (if positive) bound how long this caller waits; the
+// computation itself is bounded only by the engine-wide budget, since
+// under single flight it serves every waiter on the key and one
+// impatient client must not void it for the rest. cached reports that
+// the answer was served without running the algorithm on this request's
+// behalf (a cache hit or a single-flight join).
+func (e *Engine) Solve(ctx context.Context, graphName string, q dsd.Query, timeout time.Duration) (res *core.Result, cached bool, err error) {
+	e.queries.Add(1)
+	defer func() {
+		if err != nil {
+			e.errors.Add(1)
+		}
+	}()
+	return e.solve(ctx, graphName, q, timeout)
+}
+
+// Query answers the v1 (graph, pattern, algo) triple by decoding it into
+// a Query and delegating to the same pipeline Solve uses, so v1 and v2
+// requests for the same computation share one cache entry.
 func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo dsd.Algo, timeout time.Duration) (res *core.Result, cached bool, err error) {
 	e.queries.Add(1)
 	defer func() {
@@ -100,6 +118,36 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 		}
 	}()
 
+	p, err := dsd.PatternByName(patternName)
+	if err != nil {
+		return nil, false, err
+	}
+	a, err := dsd.ParseAlgo(string(algo))
+	if err != nil {
+		return nil, false, err
+	}
+	return e.solve(ctx, graphName, dsd.Query{Pattern: p, Algo: a}, timeout)
+}
+
+// Resolve applies the engine's default knobs to the fields q leaves at
+// zero and returns the canonical form — the query Solve will actually
+// answer and key on, before any computation runs. Filling defaults ahead
+// of keying makes "default" and "explicitly the default" the same
+// computation and the same cache entry.
+func (e *Engine) Resolve(q dsd.Query) (dsd.Query, error) {
+	if q.Workers == 0 {
+		q.Workers = e.algoWorkers
+	}
+	if q.Iterative == 0 {
+		q.Iterative = e.algoIterative
+	}
+	return q.Normalized()
+}
+
+// solve is the shared pipeline behind Solve and Query (counters are the
+// callers' concern): resolve the graph, apply engine defaults, normalize,
+// and run through the single-flight cache on the canonical query key.
+func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeout time.Duration) (*core.Result, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
@@ -107,12 +155,9 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 	if !ok {
 		return nil, false, fmt.Errorf("service: unknown graph %q", graphName)
 	}
-	p, err := dsd.PatternByName(patternName)
+	nq, err := e.Resolve(q)
 	if err != nil {
 		return nil, false, err
-	}
-	if !validAlgo(algo) {
-		return nil, false, fmt.Errorf("service: unknown algorithm %q", algo)
 	}
 
 	waitCtx := ctx
@@ -122,8 +167,8 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 		defer cancel()
 	}
 
-	key := Key{Graph: graphName, Pattern: p.Name(), Algo: string(algo)}
-	res, cached, err = e.cache.Do(waitCtx, key, func() (*core.Result, error) {
+	key := Key{Graph: graphName, Query: nq.Key()}
+	res, cached, err := e.cache.Do(waitCtx, key, func() (*core.Result, error) {
 		// The computation is deliberately detached from the submitting
 		// request's ctx: under single flight it serves every waiter on
 		// the key, so only the engine's own budget may cancel it.
@@ -155,17 +200,13 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 		// ends, and their timed-out computation keeps occupying a worker
 		// — the Workers bound accounts for it.
 		algoCtx := context.Background()
-		if algo == dsd.AlgoCoreExact {
+		if nq.Algo == dsd.AlgoCoreExact {
 			algoCtx = cctx
 		}
 		done := make(chan outcome, 1)
 		go func() {
 			defer func() { <-e.sem }()
-			r, err := dsd.PatternDensestWith(algoCtx, entry.G, p, dsd.Config{
-				Algo:      algo,
-				Workers:   e.algoWorkers,
-				Iterative: e.algoIterative,
-			})
+			r, err := entry.Solver.Solve(algoCtx, nq)
 			done <- outcome{r, err}
 		}()
 		select {
@@ -193,13 +234,4 @@ func (e *Engine) Stats() wire.StatsResponse {
 		CacheHits:     e.hits.Load(),
 		Errors:        e.errors.Load(),
 	}
-}
-
-// validAlgo reports whether algo is one of the library's algorithms.
-func validAlgo(algo dsd.Algo) bool {
-	switch algo {
-	case dsd.AlgoExact, dsd.AlgoCoreExact, dsd.AlgoPeel, dsd.AlgoInc, dsd.AlgoCoreApp, dsd.AlgoNucleus:
-		return true
-	}
-	return false
 }

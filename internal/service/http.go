@@ -15,11 +15,15 @@ import (
 
 // Server is the HTTP JSON API over a Registry and Engine:
 //
-//	POST /v1/query   — run a densest-subgraph query
+//	POST /v2/query   — run any dsd.Query (wire.QueryV2Request)
+//	POST /v1/query   — run a (graph, pattern, algo) query (legacy)
 //	GET  /v1/graphs  — list registered graphs with their stats
 //	POST /v1/graphs  — register a graph (inline edges or server path)
 //	GET  /v1/stats   — operational counters
 //	GET  /healthz    — liveness probe
+//
+// v1 queries are decoded into a dsd.Query and answered by the same
+// pipeline as v2, so the two generations share one result cache.
 type Server struct {
 	reg    *Registry
 	engine *Engine
@@ -33,6 +37,7 @@ type Server struct {
 func NewServer(reg *Registry, cfg Config) *Server {
 	s := &Server{reg: reg, engine: NewEngine(reg, cfg)}
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
@@ -52,6 +57,46 @@ func (s *Server) Engine() *Engine { return s.engine }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	var req wire.QueryV2Request
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Graph == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("graph is required"))
+		return
+	}
+	q, err := req.Query.ToQuery()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Resolve before solving so the response echoes the canonical query
+	// — defaults applied, algorithm inferred — the cache actually keyed.
+	nq, err := s.engine.Resolve(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, cached, err := s.engine.Solve(r.Context(), req.Graph, nq,
+		time.Duration(req.TimeoutMs)*time.Millisecond)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := wire.QueryV2Response{
+		Graph:  req.Graph,
+		Query:  wire.FromQuery(nq),
+		Cached: cached,
+		Result: wire.FromResult(res),
+	}
+	if res != nil {
+		resp.Stats = wire.FromQueryStats(res.Stats)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -24,13 +24,19 @@ import (
 var ErrAlreadyRegistered = errors.New("already registered")
 
 // GraphEntry is one registered graph with its precomputed structural
-// summary. Entries are immutable after registration, so they may be read
-// concurrently without locking.
+// summary and the Solver every query on it goes through. The entry's
+// fields are immutable after registration (the Solver is internally
+// synchronized), so entries may be read concurrently without locking.
 type GraphEntry struct {
 	Name     string
 	G        *dsd.Graph
 	Stats    graph.Stats
 	LoadedAt time.Time
+	// Solver answers queries on G, memoizing per-Ψ state (degree
+	// vectors, core decompositions) across them — the registry owning it
+	// is what makes the second query on a hot graph cheap regardless of
+	// which cache key it arrives under.
+	Solver *dsd.Solver
 }
 
 // Info returns the entry's wire form.
@@ -69,7 +75,7 @@ func (r *Registry) Register(name string, g *dsd.Graph) (*GraphEntry, error) {
 	}
 	// Precompute outside the lock: ComputeStats is O(n·m) in the worst
 	// case and must not serialize registrations behind it.
-	entry := &GraphEntry{Name: name, G: g, Stats: g.ComputeStats(), LoadedAt: time.Now()}
+	entry := &GraphEntry{Name: name, G: g, Stats: g.ComputeStats(), LoadedAt: time.Now(), Solver: dsd.NewSolver(g)}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.graphs[name]; ok {

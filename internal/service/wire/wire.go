@@ -2,11 +2,19 @@
 // its Go client, and the dsd CLI's -json output. Keeping the encoding in
 // one place guarantees that a result printed by the CLI is byte-for-byte
 // the encoding the service returns for the same query.
+//
+// Two request generations coexist. v1 (QueryRequest) is the original
+// (graph, pattern, algo) triple and is preserved verbatim; the server
+// decodes it into a dsd.Query internally. v2 (QueryV2Request) carries a
+// dsd.Query serialized field for field (Query) and returns the run's
+// QueryStats alongside the result, so every problem variant and knob the
+// library supports is reachable over the wire.
 package wire
 
 import (
 	"time"
 
+	dsd "repro"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -48,6 +56,153 @@ func FromResult(res *core.Result) *Result {
 		PreSolveSkips: res.Stats.PreSolveSkips,
 		TotalMs:       float64(res.Stats.Total) / float64(time.Millisecond),
 	}
+}
+
+// Query is the wire form of dsd.Query, serialized verbatim: the motif
+// (Pattern by canonical name, or H for an h-clique; both empty = edge),
+// the algorithm, the execution knobs, and the problem-variant
+// parameters. Fields at their zero value are omitted.
+type Query struct {
+	Pattern   string   `json:"pattern,omitempty"`
+	H         int      `json:"h,omitempty"`
+	Algo      string   `json:"algo,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+	Iterative int      `json:"iterative,omitempty"`
+	Pruning   *Pruning `json:"pruning,omitempty"`
+	Anchors   []int32  `json:"anchors,omitempty"`
+	AtLeast   int      `json:"at_least,omitempty"`
+	Eps       float64  `json:"eps,omitempty"`
+}
+
+// Pruning is the wire form of the CoreExact pruning ablations. Every
+// switch starts false; the iterative pre-solver keeps its default and is
+// controlled by Query.Iterative alone.
+type Pruning struct {
+	Pruning1 bool `json:"pruning1"`
+	Pruning2 bool `json:"pruning2"`
+	Pruning3 bool `json:"pruning3"`
+	Grouped  bool `json:"grouped"`
+}
+
+// ToQuery decodes the wire query into a dsd.Query, resolving the pattern
+// name and algorithm eagerly so an unknown name fails here — at the
+// decoding edge, with ParseAlgo's list of valid names — instead of deep
+// inside a run.
+func (w Query) ToQuery() (dsd.Query, error) {
+	q := dsd.Query{
+		H:         w.H,
+		Workers:   w.Workers,
+		Iterative: w.Iterative,
+		Anchors:   w.Anchors,
+		AtLeast:   w.AtLeast,
+		Eps:       w.Eps,
+	}
+	if w.Algo != "" {
+		a, err := dsd.ParseAlgo(w.Algo)
+		if err != nil {
+			return dsd.Query{}, err
+		}
+		q.Algo = a
+	}
+	if w.Pattern != "" {
+		p, err := dsd.PatternByName(w.Pattern)
+		if err != nil {
+			return dsd.Query{}, err
+		}
+		q.Pattern = p
+	}
+	if w.Pruning != nil {
+		q.Core = &dsd.CoreExactOptions{
+			Pruning1: w.Pruning.Pruning1,
+			Pruning2: w.Pruning.Pruning2,
+			Pruning3: w.Pruning.Pruning3,
+			Grouped:  w.Pruning.Grouped,
+			// Query.Iterative governs the pre-solver; a zero here would
+			// silently disable it through the Core-override resolution.
+			Iterative: core.DefaultIterativeBudget,
+		}
+	}
+	return q, nil
+}
+
+// FromQuery encodes q for the wire. Patterns are carried by canonical
+// name; pass a normalized query (dsd.Query.Normalized) to echo the
+// canonical form.
+func FromQuery(q dsd.Query) Query {
+	w := Query{
+		Algo:      string(q.Algo),
+		Workers:   q.Workers,
+		Iterative: q.Iterative,
+		Anchors:   q.Anchors,
+		AtLeast:   q.AtLeast,
+		Eps:       q.Eps,
+	}
+	if q.Pattern != nil {
+		w.Pattern = q.Psi()
+	} else {
+		w.H = q.H
+	}
+	if q.Core != nil {
+		w.Pruning = &Pruning{
+			Pruning1: q.Core.Pruning1,
+			Pruning2: q.Core.Pruning2,
+			Pruning3: q.Core.Pruning3,
+			Grouped:  q.Core.Grouped,
+		}
+	}
+	return w
+}
+
+// QueryStats is the wire form of dsd.QueryStats, serialized verbatim:
+// phase timings, flow-solve counts, the Greed++ pre-solver's counters,
+// and the Solver-reuse flags that prove a warm query skipped
+// recomputation.
+type QueryStats struct {
+	DecomposeMs         float64 `json:"decompose_ms"`
+	TotalMs             float64 `json:"total_ms"`
+	FlowSolves          int     `json:"flow_solves"`
+	FlowNodes           []int   `json:"flow_nodes,omitempty"`
+	PreSolveIters       int     `json:"pre_solve_iters"`
+	PreSolveSkips       int     `json:"pre_solve_skips"`
+	ReusedDecomposition bool    `json:"reused_decomposition,omitempty"`
+	ReusedDegrees       bool    `json:"reused_degrees,omitempty"`
+}
+
+// FromQueryStats converts a run's stats into their wire form.
+func FromQueryStats(st dsd.QueryStats) *QueryStats {
+	return &QueryStats{
+		DecomposeMs:         float64(st.Decompose) / float64(time.Millisecond),
+		TotalMs:             float64(st.Total) / float64(time.Millisecond),
+		FlowSolves:          st.Iterations,
+		FlowNodes:           st.FlowNodes,
+		PreSolveIters:       st.PreSolveIters,
+		PreSolveSkips:       st.PreSolveSkips,
+		ReusedDecomposition: st.ReusedDecomposition,
+		ReusedDegrees:       st.ReusedDegrees,
+	}
+}
+
+// QueryV2Request asks for the answer to a dsd.Query on a registered
+// graph (POST /v2/query).
+type QueryV2Request struct {
+	Graph string `json:"graph"`
+	Query Query  `json:"query"`
+	// TimeoutMs optionally tightens (never loosens) the server's
+	// per-query timeout for this request.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryV2Response is the answer to a QueryV2Request. Query echoes the
+// canonical form of the query actually answered (engine defaults
+// applied, algorithm inferred); Stats is the run's QueryStats — note
+// that under Cached they describe the original computation, not this
+// request.
+type QueryV2Response struct {
+	Graph  string      `json:"graph"`
+	Query  Query       `json:"query"`
+	Cached bool        `json:"cached"`
+	Result *Result     `json:"result"`
+	Stats  *QueryStats `json:"stats,omitempty"`
 }
 
 // QueryRequest asks for the Ψ-densest subgraph of a registered graph.

@@ -1,0 +1,335 @@
+package dsd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kcore"
+	"repro/internal/motif"
+	"repro/internal/psicore"
+)
+
+// QueryStats is the per-run instrumentation Solve returns on
+// Result.Stats: phase timings (Decompose, Total), flow-solve counts
+// (Iterations, FlowNodes), the Greed++ pre-solver's counters
+// (PreSolveIters, PreSolveSkips), and the reuse flags
+// (ReusedDecomposition, ReusedDegrees) that prove a warm query skipped
+// recomputation. The dsdd v2 wire encoding serializes it verbatim.
+type QueryStats = core.Stats
+
+// Solver answers densest-subgraph queries on one graph through the
+// single entrypoint Solve, memoizing the expensive per-(graph,Ψ) state —
+// whole-graph Ψ-degree vectors, (k,Ψ)-core and nucleus decompositions,
+// the classical k-core of anchored queries — behind a mutex, so repeated
+// queries with the same Ψ skip the recomputation entirely. The dsdd
+// service keeps one Solver per registered graph; one-shot callers pay
+// nothing for the machinery (a cold Solver computes exactly what the
+// bare algorithms would).
+//
+// A Solver is safe for concurrent use. The graph must not be mutated
+// while a Solver holds it (Graphs are immutable by construction).
+type Solver struct {
+	g *Graph
+
+	mu  sync.Mutex
+	psi map[string]*psiState
+
+	kmu sync.Mutex
+	kc  *kcore.Decomposition
+}
+
+// psiState is the memoized per-Ψ state. Each kind is computed at most
+// once per Solver, on first use, under the state's own lock — same-Ψ
+// queries serialize on the first computation instead of duplicating it;
+// different Ψ never contend.
+type psiState struct {
+	o motif.Oracle
+
+	mu      sync.Mutex
+	dec     *psicore.Decomposition // peel (k,Ψ)-core decomposition
+	nuc     *psicore.Decomposition // nucleus decomposition (AlgoNucleus)
+	total   int64                  // µ(G,Ψ)
+	deg     []int64                // whole-graph Ψ-degrees
+	haveDeg bool
+}
+
+// NewSolver returns a Solver over g with an empty memo.
+func NewSolver(g *Graph) *Solver {
+	return &Solver{g: g, psi: make(map[string]*psiState)}
+}
+
+// Graph returns the graph the Solver answers queries on.
+func (s *Solver) Graph() *Graph { return s.g }
+
+// psiFor returns (creating if needed) the memo cell for o's motif.
+func (s *Solver) psiFor(o motif.Oracle) *psiState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.psi[o.Name()]
+	if !ok {
+		st = &psiState{o: o}
+		s.psi[o.Name()] = st
+	}
+	return st
+}
+
+// decomposition returns the memoized (k,Ψ)-core decomposition, computing
+// it on first use. ctx aborts a compute but never poisons the memo: an
+// aborted computation is simply retried by the next caller.
+func (st *psiState) decomposition(ctx context.Context, g *Graph, workers int) (*psicore.Decomposition, bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dec != nil {
+		return st.dec, true, nil
+	}
+	d, err := psicore.DecomposeContext(ctx, g, st.o, workers)
+	if err != nil {
+		return nil, false, err
+	}
+	st.dec = d
+	return d, false, nil
+}
+
+// nucleus returns the memoized nucleus decomposition.
+func (st *psiState) nucleus(g *Graph) (*psicore.Decomposition, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.nuc != nil {
+		return st.nuc, true
+	}
+	st.nuc = psicore.NucleusDecompose(g, st.o)
+	return st.nuc, false
+}
+
+// degrees returns the memoized whole-graph Ψ-degree vector. Callers must
+// treat the slice as read-only (the *WithState algorithms copy it).
+func (st *psiState) degrees(g *Graph) (int64, []int64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.haveDeg {
+		return st.total, st.deg, true
+	}
+	st.total, st.deg = st.o.CountAndDegrees(g)
+	st.haveDeg = true
+	return st.total, st.deg, false
+}
+
+// kcoreDec returns the memoized classical k-core decomposition.
+func (s *Solver) kcoreDec() (*kcore.Decomposition, bool) {
+	s.kmu.Lock()
+	defer s.kmu.Unlock()
+	if s.kc != nil {
+		return s.kc, true
+	}
+	s.kc = kcore.Decompose(s.g)
+	return s.kc, false
+}
+
+// Solve answers q on the Solver's graph: the one entrypoint behind which
+// every algorithm and problem variant dispatches. The result's Stats is
+// the run's QueryStats; on a warm Solver its ReusedDecomposition /
+// ReusedDegrees flags report which memoized state served the query.
+//
+// Cancellation contract: Solve returns ctx.Err() as soon as ctx is
+// cancelled or times out. For AlgoCoreExact the cancellation is
+// cooperative — the decomposition and every component search poll ctx,
+// so the computation itself stops within one flow solve. Every other
+// algorithm is not preemptible mid-run: Solve still returns promptly,
+// but the discarded computation finishes on a background goroutine
+// before being dropped. Such an orphan still populates the Solver's
+// memo, so on a live Solver the work is recovered by the next same-Ψ
+// query rather than wasted.
+func (s *Solver) Solve(ctx context.Context, q Query) (*Result, error) {
+	nq, o, err := q.normalize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.dispatch(ctx, nq, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Total = time.Since(start)
+	return res, nil
+}
+
+// dispatch routes a normalized query to its algorithm.
+func (s *Solver) dispatch(ctx context.Context, q Query, o motif.Oracle) (*Result, error) {
+	switch q.Algo {
+	case AlgoCoreExact:
+		return await(ctx, func() (*Result, error) {
+			st := s.psiFor(o)
+			workers := q.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			decStart := time.Now()
+			dec, reused, err := st.decomposition(ctx, s.g, workers)
+			if err != nil {
+				return nil, err
+			}
+			decTime := time.Since(decStart)
+			var res *Result
+			if c, ok := o.(motif.Clique); ok {
+				res, err = core.CoreExactWithState(ctx, s.g, c.H, q.coreOptions(), dec)
+			} else {
+				res, err = core.CorePExactWithState(ctx, s.g, q.Pattern, q.coreOptions(), dec)
+			}
+			if err != nil {
+				return nil, err
+			}
+			stampDecompose(res, reused, decTime)
+			return res, nil
+		})
+	case AlgoExact:
+		return await(ctx, func() (*Result, error) {
+			if c, ok := o.(motif.Clique); ok {
+				return core.Exact(s.g, c.H), nil
+			}
+			return core.PExact(s.g, q.Pattern), nil
+		})
+	case AlgoPeel:
+		return await(ctx, func() (*Result, error) {
+			st := s.psiFor(o)
+			decStart := time.Now()
+			// Memo computes run detached: an orphaned run completes the
+			// memo for the next query instead of discarding it.
+			dec, reused, err := st.decomposition(context.Background(), s.g, 1)
+			if err != nil {
+				return nil, err
+			}
+			res := core.PeelAppWithState(s.g, o, dec)
+			stampDecompose(res, reused, time.Since(decStart))
+			return res, nil
+		})
+	case AlgoInc:
+		return await(ctx, func() (*Result, error) {
+			st := s.psiFor(o)
+			decStart := time.Now()
+			dec, reused, err := st.decomposition(context.Background(), s.g, 1)
+			if err != nil {
+				return nil, err
+			}
+			res := core.IncAppWithState(s.g, o, dec)
+			stampDecompose(res, reused, time.Since(decStart))
+			return res, nil
+		})
+	case AlgoCoreApp:
+		// CoreApp's whole point is extracting the kmax-core top-down
+		// without the full decomposition, so there is no per-Ψ state
+		// worth memoizing for it.
+		return await(ctx, func() (*Result, error) { return core.CoreApp(s.g, o), nil })
+	case AlgoNucleus:
+		return await(ctx, func() (*Result, error) {
+			st := s.psiFor(o)
+			decStart := time.Now()
+			dec, reused := st.nucleus(s.g)
+			res := core.NucleusWithState(s.g, o, dec)
+			stampDecompose(res, reused, time.Since(decStart))
+			return res, nil
+		})
+	case AlgoAnchored:
+		return await(ctx, func() (*Result, error) {
+			decStart := time.Now()
+			dec, reused := s.kcoreDec()
+			res, err := core.QueryDensestWithState(s.g, q.Anchors, dec)
+			if err != nil {
+				return nil, err
+			}
+			stampDecompose(res, reused, time.Since(decStart))
+			return res, nil
+		})
+	case AlgoBatchPeel:
+		return await(ctx, func() (*Result, error) {
+			st := s.psiFor(o)
+			total, deg, reused := st.degrees(s.g)
+			res, err := core.BatchPeelWithState(s.g, o, q.Eps, total, deg)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.ReusedDegrees = reused
+			return res, nil
+		})
+	case AlgoAtLeast:
+		return await(ctx, func() (*Result, error) {
+			st := s.psiFor(o)
+			total, deg, reused := st.degrees(s.g)
+			res, err := core.PeelAppAtLeastWithState(s.g, o, q.AtLeast, total, deg)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.ReusedDegrees = reused
+			return res, nil
+		})
+	}
+	return nil, fmt.Errorf("dsd: unknown algorithm %q", q.Algo)
+}
+
+// stampDecompose records on res whether the run's decomposition came out
+// of the Solver's memo (Decompose is the compute time otherwise).
+func stampDecompose(res *Result, reused bool, d time.Duration) {
+	res.Stats.ReusedDecomposition = reused
+	if reused {
+		res.Stats.Decompose = 0
+	} else {
+		res.Stats.Decompose = d
+	}
+}
+
+// awaitOrphans counts abandoned computations — runs whose caller's ctx
+// ended first — that have since run to completion and been dropped. It
+// exists so the non-preemptible algorithms' cancellation contract (see
+// Solve) is observable: the orphan is guaranteed to finish and release
+// its goroutine, and tests assert the counter advances instead of
+// guessing at goroutine counts.
+var awaitOrphans atomic.Int64
+
+// await runs fn on its own goroutine and returns its result, unless ctx
+// ends first, in which case ctx.Err() wins and fn's eventual result is
+// dropped (and counted in awaitOrphans once fn finishes). The mutex
+// handshake makes the count exact — whichever side moves second sees the
+// other's flag, so a run that completes concurrently with the
+// cancellation is still counted exactly once.
+func await(ctx context.Context, fn func() (*Result, error)) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	var (
+		mu                sync.Mutex
+		finished, dropped bool
+	)
+	go func() {
+		res, err := fn()
+		done <- outcome{res, err}
+		mu.Lock()
+		finished = true
+		if dropped {
+			awaitOrphans.Add(1)
+		}
+		mu.Unlock()
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-ctx.Done():
+		mu.Lock()
+		dropped = true
+		if finished {
+			// fn beat the cancellation but the select still chose ctx:
+			// the result is dropped all the same, and the worker already
+			// checked dropped and saw false.
+			awaitOrphans.Add(1)
+		}
+		mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
