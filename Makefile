@@ -3,12 +3,17 @@
 # before pushing and the gates cannot surprise you.
 
 GO ?= go
-BENCH_OUT ?= BENCH_4.json
-BENCH_PREV ?= BENCH_3.json
+BENCH_OUT ?= BENCH_5.json
+BENCH_PREV ?= BENCH_4.json
 
-.PHONY: check fmt vet build test race bench bench-compare api clean
+.PHONY: check fmt vet build test race bench bench-compare api e2e-shard clean
 
 check: fmt vet build race
+
+# The sharding end-to-end gate, exactly as CI's e2e-shard job runs it:
+# coordinator + loopback workers, density equality, fault paths.
+e2e-shard:
+	$(GO) test -race -count=1 -run 'TestSharded|TestShard' ./cmd/dsdd ./internal/shard
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -16,6 +16,12 @@
 // the variant flags (core-exact by default). With -json the result is
 // emitted in the dsdd HTTP API's v2 encoding (a wire.QueryV2Response,
 // including the run's QueryStats).
+//
+// With -shard-addrs the CLI becomes a one-shot sharding coordinator: the
+// graph is registered on each listed dsdd worker under a content-derived
+// name, the core is located locally, and the component searches fan
+// across the workers (-shards caps how many are used). The density is
+// bit-identical to a local run.
 package main
 
 import (
@@ -23,13 +29,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	dsd "repro"
 	"repro/internal/qflag"
+	"repro/internal/service/client"
 	"repro/internal/service/wire"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -52,6 +62,8 @@ func run(args []string, out io.Writer) error {
 	b.Algo(fs, "algo", "")
 	b.Workers(fs, "workers", "parallel workers for core-exact (0 or 1 = serial, -1 = GOMAXPROCS)")
 	b.Iterative(fs, "iterative", "Greed++ pre-solve iterations for core-exact (0 = engine default, -1 = off)")
+	b.Shards(fs, "shards", "cap on how many shard workers a -shard-addrs run fans across (0 = all)")
+	b.ShardAddrs(fs, "shard-addrs", "comma-separated dsdd worker base URLs; non-empty runs the query as a one-shot sharding coordinator")
 	b.Anchors(fs, "anchors")
 	b.AtLeast(fs, "at-least")
 	b.Eps(fs, "eps")
@@ -70,7 +82,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := dsd.NewSolver(g).Solve(context.Background(), q)
+	var res *dsd.Result
+	if len(q.ShardAddrs) > 0 && q.Shards >= 0 {
+		// Shards < 0 is the documented force-local opt-out; it wins even
+		// when worker addresses are listed.
+		res, err = solveSharded(context.Background(), *graphPath, g, q)
+	} else {
+		res, err = dsd.NewSolver(g).Solve(context.Background(), q)
+	}
 	if err != nil {
 		return err
 	}
@@ -94,4 +113,31 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// solveSharded runs the query as a one-shot coordinator over the workers
+// in q.ShardAddrs: the graph is registered on each worker under a name
+// derived from its content (idempotent — a re-run or a second CLI
+// finding the graph already registered is fine), then the component
+// searches distribute exactly as a dsdd coordinator's would.
+func solveSharded(ctx context.Context, path string, g *dsd.Graph, q dsd.Query) (*dsd.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	name := fmt.Sprintf("dsd-cli-%016x", h.Sum64())
+	for _, addr := range q.ShardAddrs {
+		c := client.New(addr, nil)
+		if _, err := c.RegisterEdges(ctx, name, string(data)); err != nil {
+			// A 409 means the graph (same content, same hash) is already
+			// there — exactly what we want.
+			if !strings.Contains(err.Error(), "status 409") {
+				return nil, fmt.Errorf("registering graph on shard %s: %w", addr, err)
+			}
+		}
+	}
+	coord := shard.NewCoordinator(shard.SingleSolver(name, dsd.NewSolver(g)), shard.NewSet(), shard.Config{})
+	return coord.Solve(ctx, name, q)
 }

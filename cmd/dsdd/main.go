@@ -7,15 +7,31 @@
 //
 //	dsdd [-addr :8080] [-workers 8] [-algo-workers 2] [-algo-iterative 16]
 //	     [-timeout 30s] [-graph name=edges.txt ...] [-allow-paths]
+//	     [-shards http://w1:8080,http://w2:8080] [-shard-hedge 3s]
+//	     [-shard-timeout 0] [-shard-of http://coordinator:8080]
+//	     [-advertise http://host:port]
 //
 // API: POST /v2/query (any dsd.Query), POST /v1/query (legacy triple),
-// GET/POST /v1/graphs, GET /v1/stats, GET /healthz.
+// GET/POST /v1/graphs, GET /v1/stats, GET /healthz, plus the wire v3
+// sharding protocol (POST /v3/component, POST /v3/bound,
+// GET/POST /v3/shards).
+//
+// Distributed sharding: `-shards` seeds the coordinator's worker set
+// (workers may also self-register via POST /v3/shards); while the set is
+// non-empty, core-exact queries are planned locally and their component
+// searches fan across the workers. `-shard-of URL` runs this server as a
+// worker of the coordinator at URL: after the listener binds, the server
+// registers its resolved address (override with `-advertise`) and
+// answers /v3/component searches. Every worker must hold the queried
+// graphs under the same names as the coordinator.
 //
 //	curl -s localhost:8080/v2/query -d '{"graph":"web","query":{"pattern":"triangle","algo":"core-exact"}}'
 //	curl -s localhost:8080/v1/query -d '{"graph":"web","pattern":"triangle","algo":"core-exact"}'
+//	curl -s localhost:8080/v3/shards
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +44,7 @@ import (
 
 	"repro/internal/qflag"
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -52,49 +69,110 @@ func (g *graphSpecs) Set(v string) error {
 }
 
 func run(args []string, out io.Writer) error {
-	srv, addr, err := newServer(args)
+	srv, opts, err := newServer(args)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "dsdd: listening on http://%s (%d graphs, %d workers)\n",
-		ln.Addr(), srv.Engine().Stats().Graphs, srv.Engine().Workers())
+	// Log the RESOLVED listen address, not the requested flag value: with
+	// `-addr :0` the kernel picks the port, and test harnesses / shard
+	// registration need the real one to scrape.
+	advertise := opts.advertise
+	if advertise == "" {
+		advertise = advertiseURL(ln.Addr())
+	}
+	fmt.Fprintf(out, "dsdd: listening on http://%s (advertised as %s, %d graphs, %d workers)\n",
+		ln.Addr(), advertise, srv.Engine().Stats().Graphs, srv.Engine().Workers())
+	if opts.shardOf != "" {
+		go registerWithCoordinator(opts.shardOf, advertise, out)
+	}
 	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	return hs.Serve(ln)
+}
+
+// advertiseURL derives a dialable base URL from a bound listener
+// address, replacing an unspecified host (":0"-style binds) with
+// loopback — right for the single-machine and test topologies; multi-host
+// deployments pass -advertise.
+func advertiseURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// registerWithCoordinator announces this worker to the coordinator,
+// retrying while the coordinator comes up; registration is idempotent so
+// retries are safe.
+func registerWithCoordinator(coord, advertise string, out io.Writer) {
+	client := shard.NewClient(nil)
+	for attempt := 0; attempt < 30; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := client.Register(ctx, coord, advertise)
+		cancel()
+		if err == nil {
+			fmt.Fprintf(out, "dsdd: registered %s as a shard of %s\n", advertise, coord)
+			return
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	fmt.Fprintf(out, "dsdd: giving up registering with coordinator %s\n", coord)
+}
+
+// serverOpts carries the flag values run needs after newServer returns.
+type serverOpts struct {
+	addr      string
+	shardOf   string
+	advertise string
 }
 
 // newServer parses args, preloads graphs, and builds the HTTP server.
 // The per-query default knobs come through the shared Query builder
 // (internal/qflag), so -algo-workers/-algo-iterative mean exactly what
 // cmd/dsd's -workers/-iterative mean.
-func newServer(args []string) (*service.Server, string, error) {
+func newServer(args []string) (*service.Server, serverOpts, error) {
 	fs := flag.NewFlagSet("dsdd", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		workers    = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
-		timeout    = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
-		allowPaths = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
-		graphs     graphSpecs
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+		timeout      = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
+		allowPaths   = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
+		shards       = fs.String("shards", "", "comma-separated shard worker base URLs; non-empty makes this server coordinate core-exact queries across them")
+		shardHedge   = fs.Duration("shard-hedge", 0, "straggler delay before a slow shard's component is duplicated locally (0 = default, negative = off)")
+		shardTimeout = fs.Duration("shard-timeout", 0, "per-component remote attempt timeout (0 = query budget only)")
+		shardOf      = fs.String("shard-of", "", "coordinator base URL to register this server with as a shard worker")
+		advertise    = fs.String("advertise", "", "base URL to advertise to the coordinator (default: the resolved listen address)")
+		graphs       graphSpecs
 	)
 	b := qflag.New()
 	b.Workers(fs, "algo-workers", "default parallel workers inside each core-exact query (0 = GOMAXPROCS/workers, 1 = serial, -1 = GOMAXPROCS)")
 	b.Iterative(fs, "algo-iterative", "default Greed++ pre-solve iterations inside each core-exact query (0 = engine default, -1 = off)")
 	fs.Var(&graphs, "graph", "preload a graph as name=edge-list-path (repeatable)")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, serverOpts{}, err
 	}
 	q, err := b.Query()
 	if err != nil {
-		return nil, "", err
+		return nil, serverOpts{}, err
+	}
+	var shardAddrs []string
+	for _, a := range strings.Split(*shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			shardAddrs = append(shardAddrs, a)
+		}
 	}
 	reg := service.NewRegistry()
 	for _, spec := range graphs {
 		name, path, _ := strings.Cut(spec, "=")
 		if _, err := reg.RegisterFile(name, path); err != nil {
-			return nil, "", err
+			return nil, serverOpts{}, err
 		}
 	}
 	srv := service.NewServer(reg, service.Config{
@@ -102,9 +180,12 @@ func newServer(args []string) (*service.Server, string, error) {
 		AlgoWorkers:   q.Workers,
 		AlgoIterative: q.Iterative,
 		Timeout:       *timeout,
+		ShardAddrs:    shardAddrs,
+		ShardHedge:    *shardHedge,
+		ShardTimeout:  *shardTimeout,
 	})
 	if *allowPaths {
 		srv.AllowPathRegistration()
 	}
-	return srv, *addr, nil
+	return srv, serverOpts{addr: *addr, shardOf: *shardOf, advertise: *advertise}, nil
 }

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	dsd "repro"
+	"repro/internal/gen"
+	"repro/internal/service/client"
+	"repro/internal/service/wire"
+)
+
+// launchDSDD builds a dsdd server from CLI args and serves it on a real
+// loopback listener — the closest in-process equivalent of launching the
+// binary. It returns the base URL and a kill function.
+func launchDSDD(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	srv, _, err := newServer(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	kill := func() { hs.Close() }
+	t.Cleanup(kill)
+	return "http://" + ln.Addr().String(), kill
+}
+
+// writeStressGraph writes the deterministic multi-component stress
+// instance to disk, as the processes would load it.
+func writeStressGraph(t *testing.T) string {
+	t.Helper()
+	g := gen.MultiCommunity(6, 18, 8, 11, 12, 1)
+	path := filepath.Join(t.TempDir(), "multi.txt")
+	if err := g.SaveEdgeList(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestShardedE2E is the acceptance gate of the sharding subsystem: one
+// coordinator dsdd plus two worker dsdds on loopback, all holding the
+// same graph; a v2 core-exact query to the coordinator must distribute
+// (shard counters prove it) and return the density a serial local run
+// returns; killing a worker mid-service must be survived via fallback
+// with the same density.
+func TestShardedE2E(t *testing.T) {
+	path := writeStressGraph(t)
+	graphArg := "multi=" + path
+
+	w1URL, killW1 := launchDSDD(t, "-addr", "127.0.0.1:0", "-graph", graphArg)
+	w2URL, _ := launchDSDD(t, "-addr", "127.0.0.1:0", "-graph", graphArg)
+	coordURL, _ := launchDSDD(t,
+		"-addr", "127.0.0.1:0",
+		"-graph", graphArg,
+		"-shards", w1URL+","+w2URL,
+		"-shard-hedge", "-1ms", // fault injection below wants the pure fallback path
+	)
+
+	ctx := context.Background()
+	c := client.New(coordURL, nil)
+
+	// The ground truth, computed serially in-process from the same file.
+	g, err := dsd.LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := dsd.NewSolver(g).Solve(ctx, dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	query := func(label string) *wire.QueryV2Response {
+		t.Helper()
+		resp, err := c.QueryV2(ctx, wire.QueryV2Request{
+			Graph: "multi",
+			Query: wire.Query{H: 3, Algo: "core-exact"},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if resp.Result.DensityNum != serial.Density.Num || resp.Result.DensityDen != serial.Density.Den {
+			t.Fatalf("%s: sharded density %d/%d != serial %d/%d", label,
+				resp.Result.DensityNum, resp.Result.DensityDen, serial.Density.Num, serial.Density.Den)
+		}
+		return resp
+	}
+
+	// Both workers healthy: the query must actually distribute.
+	resp := query("healthy")
+	if resp.Stats == nil || resp.Stats.ShardComponents == 0 {
+		t.Fatalf("no components distributed: %+v", resp.Stats)
+	}
+	if resp.Stats.ShardRemote == 0 {
+		t.Fatalf("no component answered remotely: %+v", resp.Stats)
+	}
+	if resp.Stats.ShardFallbacks != 0 {
+		t.Fatalf("healthy run produced fallbacks: %+v", resp.Stats)
+	}
+
+	// The shard set is visible over the wire with health.
+	infos, err := shardList(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || !infos[0].Healthy || !infos[1].Healthy {
+		t.Fatalf("shard list: %+v", infos)
+	}
+
+	// Kill worker 1. A new, uncached query (h=2) must be survived by the
+	// remaining worker plus local fallback, with the exact density.
+	killW1()
+	serial2, err := dsd.NewSolver(g).Solve(ctx, dsd.Query{H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := c.QueryV2(ctx, wire.QueryV2Request{
+		Graph: "multi",
+		Query: wire.Query{H: 2, Algo: "core-exact"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Result.DensityNum != serial2.Density.Num || resp2.Result.DensityDen != serial2.Density.Den {
+		t.Fatalf("post-kill density %d/%d != serial %d/%d",
+			resp2.Result.DensityNum, resp2.Result.DensityDen, serial2.Density.Num, serial2.Density.Den)
+	}
+	if resp2.Stats.ShardFallbacks == 0 && resp2.Stats.ShardRemote == 0 {
+		t.Fatalf("post-kill query neither fell back nor used the live worker: %+v", resp2.Stats)
+	}
+
+	// A query that opts out of sharding still works.
+	resp3, err := c.QueryV2(ctx, wire.QueryV2Request{
+		Graph: "multi",
+		Query: wire.Query{H: 3, Algo: "core-exact", Shards: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp3.Result.DensityNum != serial.Density.Num || resp3.Result.DensityDen != serial.Density.Den {
+		t.Fatalf("opt-out density %d/%d != serial %d/%d",
+			resp3.Result.DensityNum, resp3.Result.DensityDen, serial.Density.Num, serial.Density.Den)
+	}
+	if resp3.Stats.ShardComponents != 0 {
+		t.Fatalf("Shards:-1 query still distributed: %+v", resp3.Stats)
+	}
+}
+
+// TestShardSelfRegistration: a `-shard-of` worker announces its resolved
+// address to the coordinator, which then distributes to it — the
+// zero-config worker bring-up path.
+func TestShardSelfRegistration(t *testing.T) {
+	path := writeStressGraph(t)
+	graphArg := "multi=" + path
+
+	coordURL, _ := launchDSDD(t, "-addr", "127.0.0.1:0", "-graph", graphArg)
+
+	// The worker registers itself using run()'s own plumbing: build it
+	// the same way and call the registration helper with its resolved
+	// address, as run does after net.Listen.
+	workerURL, _ := launchDSDD(t, "-addr", "127.0.0.1:0", "-graph", graphArg)
+	registerWithCoordinator(coordURL, workerURL, os.Stderr)
+
+	c := client.New(coordURL, nil)
+	ctx := context.Background()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos, err := shardList(ctx, c)
+		if err == nil && len(infos) == 1 && infos[0].Addr == workerURL {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never appeared in the coordinator's shard set: %+v (err %v)", infos, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err := c.QueryV2(ctx, wire.QueryV2Request{
+		Graph: "multi",
+		Query: wire.Query{H: 3, Algo: "core-exact"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats == nil || resp.Stats.ShardRemote == 0 {
+		t.Fatalf("self-registered worker never answered a component: %+v", resp.Stats)
+	}
+}
+
+// shardList fetches GET /v3/shards through the generic client transport.
+func shardList(ctx context.Context, c *client.Client) ([]wire.ShardInfo, error) {
+	return c.Shards(ctx)
+}

@@ -1,0 +1,191 @@
+package dsd
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+// This file is the Solver's component-level surface: the distributed
+// sharding layer (internal/shard, the dsdd v3 wire) decomposes one
+// CoreExact query into per-component sub-searches, and these entrypoints
+// let a coordinator plan locally, ship components to shard workers, and
+// let each worker answer through its own per-graph Solver memo. The
+// split is exactly Algorithm 4's: PlanComponents is the location phase
+// (steps 1-4 + Pruning2), SolveComponent one per-component binary search
+// (lines 5-20), EvaluateWitness the final merge's certificate.
+
+// ComponentPlan is the location phase of one CoreExact query: the
+// connected components of the located (k,Ψ)-core (original vertex ids,
+// densest first), the core level they were located at, and the certified
+// (lower bound, witness) the searches start from. Components are
+// independent search units — the decomposition the plan was located in
+// stays memoized on the Solver, so SolveComponent calls for the same
+// query reuse it for free.
+type ComponentPlan struct {
+	Components [][]int32
+	KLocate    int64
+	// LowerNum/LowerDen is the exact density of Witness (0/0 when the
+	// graph holds no Ψ-instance at all).
+	LowerNum int64
+	LowerDen int64
+	Witness  []int32
+	// Empty reports the graph holds no Ψ-instance: the answer is the
+	// empty subgraph and no component search needs to run.
+	Empty bool
+	// Decompose is the time the location phase spent computing the
+	// (k,Ψ)-core decomposition; ReusedDecomposition reports it came out
+	// of the Solver's memo instead (Decompose is then zero) — the same
+	// pair Solve stamps on in-process runs, carried here so a distributed
+	// run's QueryStats stay truthful.
+	Decompose           time.Duration
+	ReusedDecomposition bool
+}
+
+// PlanComponents runs the location phase of q (which must resolve to
+// AlgoCoreExact) on the Solver's graph: the (k,Ψ)-core decomposition —
+// served from the Solver's memo when warm — Pruning1's bound, the
+// component split, and Pruning2's refinement.
+func (s *Solver) PlanComponents(ctx context.Context, q Query) (*ComponentPlan, error) {
+	nq, o, err := q.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if nq.Algo != AlgoCoreExact {
+		return nil, fmt.Errorf("dsd: component plans exist only for %s queries (got %s)", AlgoCoreExact, nq.Algo)
+	}
+	st := s.psiFor(o)
+	workers := nq.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	decStart := time.Now()
+	dec, reused, err := st.decomposition(ctx, s.g, workers)
+	if err != nil {
+		return nil, err
+	}
+	decTime := time.Since(decStart)
+	if reused {
+		decTime = 0
+	}
+	plan, err := core.PlanCoreExact(ctx, s.g, o, nq.coreOptions(), dec)
+	if err != nil {
+		return nil, err
+	}
+	return &ComponentPlan{
+		Components:          plan.Components,
+		KLocate:             plan.KLocate,
+		LowerNum:            plan.Lower.Num,
+		LowerDen:            plan.Lower.Den,
+		Witness:             plan.Witness,
+		Empty:               plan.Empty(),
+		Decompose:           decTime,
+		ReusedDecomposition: reused,
+	}, nil
+}
+
+// ComponentFloor is the live lower bound of one in-flight component
+// search: a monotone density floor with no witness attached, seeded from
+// the coordinator's global bound at dispatch time and raised through
+// Raise as sibling components report improvements — each raise tightens
+// the running search's probe threshold, shrinks its cores, and arms its
+// can't-beat abort. Safe for concurrent use.
+type ComponentFloor struct {
+	cell *core.FloorCell
+}
+
+// NewComponentFloor returns a floor seeded at num/den (den ≤ 0 seeds the
+// empty density, below everything).
+func NewComponentFloor(num, den int64) *ComponentFloor {
+	return &ComponentFloor{cell: core.NewFloorCell(ratio(num, den))}
+}
+
+// Raise lifts the floor to num/den iff it strictly beats the current
+// floor, reporting whether it did.
+func (f *ComponentFloor) Raise(num, den int64) bool {
+	return f.cell.Raise(ratio(num, den))
+}
+
+// ratio is the wire-decoding constructor for densities (see
+// rational.Decode: malformed pairs become the empty density).
+func ratio(num, den int64) rational.R { return rational.Decode(num, den) }
+
+// ComponentResult is one component search's contribution: the best
+// subgraph found inside the component — a nil Witness when nothing in it
+// beat the floor — with its exact density and the search's counters.
+type ComponentResult struct {
+	DensityNum int64
+	DensityDen int64
+	Witness    []int32
+	// FlowSolves counts min-cut computations; PreSolveIters the Greed++
+	// iterations run; PreSolveSkipped that the search concluded without
+	// building a single flow network.
+	FlowSolves      int
+	PreSolveIters   int
+	PreSolveSkipped bool
+	// Elapsed is the search's wall-clock time.
+	Elapsed time.Duration
+}
+
+// SolveComponent runs one per-component CoreExact binary search (with
+// the Greed++ pre-solve) for q on the vertex set comp, which must be a
+// component of a ComponentPlan for the same (graph, query) — the shard
+// worker's half of a distributed CoreExact run. kLocate is the plan's
+// core level, floor the search's live lower bound (nil starts from the
+// empty density). The decomposition comes from the Solver's memo, so a
+// worker answering many components of one query pays for it once.
+//
+// Exactness mirrors the in-process engine: the floor is only ever a
+// density of a real subgraph of the same graph, so every use — probe
+// threshold, core shrink, can't-beat abort — is conservative, and the
+// returned witness is certified by its own recomputed density.
+func (s *Solver) SolveComponent(ctx context.Context, q Query, comp []int32, kLocate int64, floor *ComponentFloor) (*ComponentResult, error) {
+	start := time.Now()
+	nq, o, err := q.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if nq.Algo != AlgoCoreExact {
+		return nil, fmt.Errorf("dsd: component searches exist only for %s queries (got %s)", AlgoCoreExact, nq.Algo)
+	}
+	if len(comp) == 0 {
+		return nil, fmt.Errorf("dsd: empty component")
+	}
+	if floor == nil {
+		floor = NewComponentFloor(0, 0)
+	}
+	st := s.psiFor(o)
+	dec, _, err := st.decomposition(ctx, s.g, 1)
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.SearchComponent(ctx, s.g, o, dec, nq.coreOptions(), floor.cell, comp, kLocate)
+	if err != nil {
+		return nil, err
+	}
+	return &ComponentResult{
+		DensityNum:      out.Density.Num,
+		DensityDen:      out.Density.Den,
+		Witness:         out.Witness,
+		FlowSolves:      out.FlowSolves,
+		PreSolveIters:   out.PreSolveIters,
+		PreSolveSkipped: out.PreSolveSkip,
+		Elapsed:         time.Since(start),
+	}, nil
+}
+
+// EvaluateWitness builds the full Result (µ, exact density, sorted
+// vertex set) for the subgraph induced by vs under q's motif — the
+// coordinator's final merge step, recomputing the winning witness's
+// certificate from the graph instead of trusting wire-carried numbers.
+// A nil/empty vs yields the empty result.
+func (s *Solver) EvaluateWitness(q Query, vs []int32) (*Result, error) {
+	_, o, err := q.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return core.Evaluate(s.g, o, vs), nil
+}

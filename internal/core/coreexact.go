@@ -133,7 +133,41 @@ func coreExactDriver(ctx context.Context, g *graph.Graph, o motif.Oracle, opts O
 	return coreExactDriverState(ctx, g, o, opts, nil)
 }
 
-func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Options, dec *psicore.Decomposition) (*Result, error) {
+// Plan is the output of Algorithm 4's location steps (lines 1-4 plus
+// Pruning2): the located (k,Ψ)-core's connected components, ordered
+// densest first, together with the certified (lower, witness) pair the
+// searches start from. A Plan is what the distributed coordinator ships
+// piecewise to shard workers — each component is an independent search
+// unit — and what the in-process engines execute directly, so the two
+// execution modes cannot drift.
+type Plan struct {
+	// Dec is the (k,Ψ)-core decomposition the plan was located in.
+	Dec *psicore.Decomposition
+	// Components are the located core's connected components in original
+	// vertex ids, densest first (when Pruning2 is on).
+	Components [][]int32
+	// KLocate is the core level the components were located at.
+	KLocate int64
+	// Lower is the certified density of Witness, the best subgraph known
+	// before any component search runs.
+	Lower   rational.R
+	Witness []int32
+	// Stats carries the location phase's share of the run stats
+	// (Decompose timing, ReusedDecomposition).
+	Stats Stats
+}
+
+// Empty reports that the graph holds no Ψ-instance at all, so the answer
+// is the empty subgraph and no component search needs to run.
+func (p *Plan) Empty() bool { return p.Dec.TotalInstances == 0 }
+
+// PlanCoreExact runs Algorithm 4's location steps: the (k,Ψ)-core
+// decomposition (reusing dec when non-nil), Pruning1's residual-density
+// bound (or the Theorem-1 kmax-core fallback), the component split, and
+// Pruning2's per-component refinement. The returned plan's components
+// can then be searched in any order, in any process, as long as every
+// search shares one monotone BoundSource seeded from (Lower, Witness).
+func PlanCoreExact(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Options, dec *psicore.Decomposition) (*Plan, error) {
 	start := time.Now()
 	var stats Stats
 	workers := opts.Workers
@@ -158,10 +192,7 @@ func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, o
 		}
 	}
 	if dec.TotalInstances == 0 {
-		r := &Result{}
-		r.Stats = stats
-		r.Stats.Total = time.Since(start)
-		return r, nil
+		return &Plan{Dec: dec, Stats: stats}, nil
 	}
 	p := int64(o.Size())
 
@@ -245,9 +276,36 @@ func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, o
 			components = filtered
 		}
 	}
+	return &Plan{
+		Dec:        dec,
+		Components: components,
+		KLocate:    kLocate,
+		Lower:      lower,
+		Witness:    witness,
+		Stats:      stats,
+	}, nil
+}
 
+func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Options, dec *psicore.Decomposition) (*Result, error) {
+	start := time.Now()
+	plan, err := PlanCoreExact(ctx, g, o, opts, dec)
+	if err != nil {
+		return nil, err
+	}
+	stats := plan.Stats
+	if plan.Empty() {
+		r := &Result{}
+		r.Stats = stats
+		r.Stats.Total = time.Since(start)
+		return r, nil
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	n := g.N()
 	globalStop := 1.0 / (float64(n) * float64(n-1))
+	p := int64(o.Size())
 
 	// Step 3: per-component binary search with shrinking flow networks
 	// (lines 5-20). The searches share the (lower, witness) pair through
@@ -255,12 +313,12 @@ func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, o
 	// immediately raises the probe threshold, shrinks the cores, and
 	// arms the can't-beat abort of every other component, whether they
 	// run on this goroutine or across the worker pool.
-	cell := &boundCell{lower: lower, witness: witness}
-	perComp := make([]compStats, len(components))
-	errs := make([]error, len(components))
-	runIndexed(workers, len(components), func(i int) {
+	cell := &boundCell{lower: plan.Lower, witness: plan.Witness}
+	perComp := make([]compStats, len(plan.Components))
+	errs := make([]error, len(plan.Components))
+	runIndexed(workers, len(plan.Components), func(i int) {
 		perComp[i], errs[i] = searchComponent(
-			ctx, g, o, dec, opts, cell, components[i], kLocate, globalStop, p)
+			ctx, g, o, plan.Dec, opts, cell, plan.Components[i], plan.KLocate, globalStop, p)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -276,7 +334,7 @@ func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, o
 		}
 	}
 
-	_, witness = cell.snapshot()
+	_, witness := cell.snapshot()
 	res := evaluate(g, o, witness)
 	res.Stats = stats
 	res.Stats.Total = time.Since(start)
@@ -308,12 +366,12 @@ type compStats struct {
 // comparison is exact — rational vs. dyadic float via R.CmpFloat — never
 // a rounded float compare.
 func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition,
-	opts Options, cell *boundCell, comp []int32, kLocate int64, globalStop float64, p int64) (compStats, error) {
+	opts Options, cell BoundSource, comp []int32, kLocate int64, globalStop float64, p int64) (compStats, error) {
 	var cs compStats
 	if err := ctx.Err(); err != nil {
 		return cs, err
 	}
-	lower := cell.get()
+	lower := cell.Bound()
 	cur := comp
 	curK := kLocate
 	// Shrink by the shared lower bound before building anything (line 6).
@@ -365,15 +423,20 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 	if opts.Iterative > 0 {
 		sub = g.Induced(cur)
 		solver = iterative.New(sub.Graph, o)
-		if err := solver.Run(ctx, opts.Iterative); err != nil {
+		// Adaptive budget (see iterative.RunAdaptive): the budget is a
+		// ceiling, and tiny components whose bound gap stalls stop after a
+		// chunk or two — the bounds stay conservative certificates either
+		// way, so the density is identical for every stopping point.
+		ran, err := solver.RunAdaptive(ctx, opts.Iterative)
+		cs.preIters += ran
+		if err != nil {
 			return cs, err
 		}
-		cs.preIters += opts.Iterative
 		lb, wit := solver.Lower()
 		if lb.Greater(lower) {
-			cell.improve(lb, toOrig(sub, wit))
+			cell.Improve(lb, toOrig(sub, wit))
 		}
-		lower = cell.get()
+		lower = cell.Bound()
 		ownLB = lb
 		// Exact can't-beat on the iterative certificate: nothing in this
 		// component is denser than max-load/T (rational compare, no
@@ -396,16 +459,17 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 				return cs, nil
 			}
 			var err error
-			sub, solver, err = shrinkSolver(ctx, g, o, sub, solver, cur, refreshBudget(opts))
+			var ran int
+			sub, solver, ran, err = shrinkSolver(ctx, g, o, sub, solver, cur, refreshBudget(opts))
+			cs.preIters += ran
 			if err != nil {
 				return cs, err
 			}
-			cs.preIters += refreshBudget(opts)
 			publishSolverLower(cell, sub, solver)
 			if rlb, _ := solver.Lower(); rlb.Greater(ownLB) {
 				ownLB = rlb
 			}
-			lower = cell.get()
+			lower = cell.Bound()
 			if lower.Cmp(solver.Upper()) >= 0 {
 				cs.preSkip = true
 				return cs, nil
@@ -443,7 +507,7 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 	}
 	best := toOrig(sub, vs)
 	if d, _ := densityOf(g, o, best); d.Greater(lower) {
-		cell.improve(d, best)
+		cell.Improve(d, best)
 	}
 
 	lc := lower.Float()
@@ -451,7 +515,7 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		if err := ctx.Err(); err != nil {
 			return cs, err
 		}
-		shared := cell.get()
+		shared := cell.Bound()
 		// Can't-beat abort: everything in this component has density
 		// ≤ uc; once the shared bound reaches uc nothing here can
 		// strictly improve the answer, so drop the remaining iterations.
@@ -477,7 +541,7 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		// Publish the improvement now, not at component end: its exact
 		// density immediately tightens every sibling search.
 		d, _ := densityOf(g, o, best)
-		cell.improve(d, best)
+		cell.Improve(d, best)
 		// Relocate in a higher core once either the local α or the
 		// shared bound crosses an integer boundary (line 17, §6.1 ③):
 		// networks shrink monotonically, and the warm-started solver gets
@@ -493,11 +557,12 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 				curK = lk
 				if solver != nil {
 					var err error
-					sub, solver, err = shrinkSolver(ctx, g, o, sub, solver, cur, refreshBudget(opts))
+					var ran int
+					sub, solver, ran, err = shrinkSolver(ctx, g, o, sub, solver, cur, refreshBudget(opts))
+					cs.preIters += ran
 					if err != nil {
 						return cs, err
 					}
-					cs.preIters += refreshBudget(opts)
 					publishSolverLower(cell, sub, solver)
 					if f := solver.UpperFloat(); f < uc {
 						uc = f
@@ -519,9 +584,9 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 // of sub, in local ids) into the shared cell when it improves on it —
 // refresh iterations after a core shrink would otherwise pay for a better
 // witness and then drop it.
-func publishSolverLower(cell *boundCell, sub *graph.Subgraph, solver *iterative.Solver) {
-	if lb, wit := solver.Lower(); lb.Greater(cell.get()) {
-		cell.improve(lb, toOrig(sub, wit))
+func publishSolverLower(cell BoundSource, sub *graph.Subgraph, solver *iterative.Solver) {
+	if lb, wit := solver.Lower(); lb.Greater(cell.Bound()) {
+		cell.Improve(lb, toOrig(sub, wit))
 	}
 }
 
@@ -540,9 +605,11 @@ func refreshBudget(opts Options) int {
 // keeps the max-load/T certificate valid — surviving instances charged all
 // their units to surviving vertices, lost instances only inflate loads —
 // so the warm solver's upper bound is immediately trustworthy and the
-// refresh tightens it instead of starting from scratch.
+// refresh tightens it instead of starting from scratch. It also returns
+// the number of refresh iterations actually run (the adaptive stop may
+// spend fewer than the budget).
 func shrinkSolver(ctx context.Context, g *graph.Graph, o motif.Oracle, oldSub *graph.Subgraph,
-	s *iterative.Solver, cur []int32, refresh int) (*graph.Subgraph, *iterative.Solver, error) {
+	s *iterative.Solver, cur []int32, refresh int) (*graph.Subgraph, *iterative.Solver, int, error) {
 	sub := g.Induced(cur)
 	loads := make([]int64, sub.N())
 	oldLoads := s.Loads()
@@ -556,10 +623,11 @@ func shrinkSolver(ctx context.Context, g *graph.Graph, o motif.Oracle, oldSub *g
 		loads[i] = oldLoads[j]
 	}
 	ns := iterative.NewWarm(sub.Graph, o, loads, s.Iterations())
-	if err := ns.Run(ctx, refresh); err != nil {
-		return nil, nil, err
+	ran, err := ns.RunAdaptive(ctx, refresh)
+	if err != nil {
+		return nil, nil, ran, err
 	}
-	return sub, ns, nil
+	return sub, ns, ran, nil
 }
 
 // maxCoreOf returns the maximum Ψ-core number among vs.

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"math"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/iterative"
 	"repro/internal/motif"
 	"repro/internal/pattern"
 )
@@ -12,13 +15,17 @@ import (
 // search on the guess α with a min s-t cut per probe, with the flow
 // network rebuilt on the entire graph every iteration. For Ψ = edge it
 // uses Goldberg's simplified network, for h-cliques the (h−1)-clique
-// network.
+// network. The binary search is seeded from Greed++ bounds (the same
+// flow-free pre-solver CoreExact uses) instead of (0, max motif degree);
+// the bounds are conservative certificates, so the returned density is
+// unchanged and the seeding only removes probes.
 func Exact(g *graph.Graph, h int) *Result {
 	return exactDriver(g, motif.Clique{H: h}, false)
 }
 
 // PExact is the exact PDS algorithm (Algorithm 8): the Exact framework
-// with one flow-network node per pattern instance.
+// with one flow-network node per pattern instance, pre-solve seeded like
+// Exact.
 func PExact(g *graph.Graph, p *pattern.Pattern) *Result {
 	return exactDriver(g, motif.For(p), false)
 }
@@ -41,8 +48,30 @@ func exactDriver(g *graph.Graph, o motif.Oracle, grouped bool) *Result {
 	s := makeSide(g, o, grouped)
 	var stats Stats
 	l, u := 0.0, float64(s.MaxMotifDeg())
-	stop := 1.0 / (float64(n) * float64(n-1))
 	var best []int32
+
+	// Greed++ seeding (ROADMAP item): bracket ρ* with certified flow-free
+	// bounds before the first network is built. The lower bound arrives
+	// with a real witness, so even a search whose range closes outright
+	// still returns the optimum; the upper bound is max-load/T rounded up
+	// (UpperFloat), so it can never clip the true density. The lower seed
+	// takes the mirror-image guard: Float rounds to nearest, so one
+	// Nextafter step DOWN keeps l ≤ ρ* even when the witness is the
+	// optimum and its density's ulp exceeds the Lemma-12 spacing —
+	// without it, every probe in (ρ*, l] would fail and a strictly denser
+	// subgraph than the greedy witness could be ruled out by rounding.
+	pre := iterative.New(g, o)
+	ran, _ := pre.RunAdaptive(context.Background(), DefaultIterativeBudget)
+	stats.PreSolveIters += ran
+	if lb, wit := pre.Lower(); len(wit) > 0 {
+		best = append([]int32(nil), wit...) // wit is live solver state
+		l = math.Nextafter(lb.Float(), math.Inf(-1))
+	}
+	if f := pre.UpperFloat(); f < u {
+		u = f
+	}
+
+	stop := 1.0 / (float64(n) * float64(n-1))
 	for u-l >= stop {
 		alpha := (l + u) / 2
 		net := s.Build(alpha)
@@ -55,6 +84,12 @@ func exactDriver(g *graph.Graph, o motif.Oracle, grouped bool) *Result {
 			l = alpha
 			best = vs
 		}
+	}
+	if stats.Iterations == 0 {
+		// The pre-solve bounds closed the search before any network was
+		// built — the whole-graph analogue of a component finishing
+		// flow-free.
+		stats.PreSolveSkips++
 	}
 	res := evaluate(g, o, best)
 	res.Stats = stats

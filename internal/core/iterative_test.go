@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -158,5 +159,97 @@ func TestCoreExactIterativeStats(t *testing.T) {
 	}
 	if rs.Density.Cmp(ri.Density) != 0 {
 		t.Fatalf("density changed: %v vs %v", rs.Density, ri.Density)
+	}
+}
+
+// TestExactPreSolveSeeding: the whole-graph Exact/PExact baselines now
+// seed their binary search from Greed++ bounds (ROADMAP item). The
+// density must agree with the flow-only CoreExact seed engine — two
+// independent algorithms — and the stats must show the pre-solver ran.
+func TestExactPreSolveSeeding(t *testing.T) {
+	seed := Options{Pruning1: true, Pruning2: true, Pruning3: true, Grouped: true}
+	for gi, g := range equivalenceGraphs(t)[:10] {
+		for h := 2; h <= 3; h++ {
+			e := Exact(g, h)
+			want := CoreExactOpts(g, h, seed)
+			if e.Density.Cmp(want.Density) != 0 {
+				t.Fatalf("graph %d h=%d: seeded Exact density %v != core-exact %v",
+					gi, h, e.Density, want.Density)
+			}
+			if e.Density.IsZero() {
+				continue
+			}
+			if e.Stats.PreSolveIters == 0 {
+				t.Fatalf("graph %d h=%d: Exact did not run the pre-solver", gi, h)
+			}
+		}
+	}
+	g := equivalenceGraphs(t)[0]
+	p := pattern.Star(2)
+	pe := PExact(g, p)
+	want := CorePExactOpts(g, p, seed)
+	if pe.Density.Cmp(want.Density) != 0 {
+		t.Fatalf("seeded PExact density %v != core-p-exact %v", pe.Density, want.Density)
+	}
+	if pe.Stats.PreSolveIters == 0 {
+		t.Fatal("PExact did not run the pre-solver")
+	}
+}
+
+// TestSearchComponentFloorCell: the exported component entrypoint with a
+// FloorCell — the distributed worker's path — must agree with the serial
+// engine when handed the engine's own plan, component by component.
+func TestSearchComponentFloorCell(t *testing.T) {
+	g := gen.MultiCommunity(5, 14, 6, 9, 10, 1)
+	o := motif.Clique{H: 3}
+	opts := DefaultOptions()
+	plan, err := PlanCoreExact(context.Background(), g, o, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Components) < 2 {
+		t.Fatalf("stress instance yielded %d components", len(plan.Components))
+	}
+	want := CoreExactOpts(g, 3, opts)
+
+	// Sequential floor-cell execution in plan order reproduces the
+	// serial engine's merge exactly.
+	best := plan.Lower
+	witness := plan.Witness
+	for i, comp := range plan.Components {
+		cell := NewFloorCell(best)
+		out, err := SearchComponent(context.Background(), g, o, plan.Dec, opts, cell, comp, plan.KLocate)
+		if err != nil {
+			t.Fatalf("component %d: %v", i, err)
+		}
+		if len(out.Witness) > 0 {
+			if d, _ := densityOf(g, o, out.Witness); d.Cmp(out.Density) != 0 {
+				t.Fatalf("component %d: outcome density %v != recomputed %v", i, out.Density, d)
+			}
+			if out.Density.Greater(best) {
+				best = out.Density
+				witness = out.Witness
+			}
+		}
+	}
+	if best.Cmp(want.Density) != 0 {
+		t.Fatalf("merged floor-cell density %v != engine %v", best, want.Density)
+	}
+	if d, _ := densityOf(g, o, witness); d.Cmp(want.Density) != 0 {
+		t.Fatalf("merged witness density %v != engine %v", d, want.Density)
+	}
+
+	// A floor already at the optimum means no component can improve: the
+	// searches must come back witness-less, never with a worse answer.
+	for i, comp := range plan.Components {
+		cell := NewFloorCell(want.Density)
+		out, err := SearchComponent(context.Background(), g, o, plan.Dec, opts, cell, comp, plan.KLocate)
+		if err != nil {
+			t.Fatalf("component %d: %v", i, err)
+		}
+		if len(out.Witness) != 0 {
+			t.Fatalf("component %d: floor at optimum still produced witness %v (density %v)",
+				i, out.Witness, out.Density)
+		}
 	}
 }

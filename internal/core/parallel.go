@@ -17,6 +17,23 @@ import (
 	"repro/internal/rational"
 )
 
+// BoundSource is the certified global lower bound a component search
+// reads and publishes to. Implementations must be safe for concurrent
+// use and monotone: Bound never decreases, and Improve installs (d, w)
+// only when d strictly beats the current bound. The in-process engines
+// share a boundCell; the distributed coordinator injects a FloorCell on
+// each shard whose floor it rebroadcasts as sibling shards report in —
+// searchComponent's exactness argument only needs the bound to be the
+// density of some real subgraph of the same graph, wherever it lives.
+type BoundSource interface {
+	// Bound returns the current certified lower bound.
+	Bound() rational.R
+	// Improve installs (d, w) iff d strictly beats the current bound,
+	// reporting whether it did. Callers pass w slices they will not
+	// mutate.
+	Improve(d rational.R, w []int32) bool
+}
+
 // boundCell is the shared monotone (lower bound, witness) pair. The bound
 // only rises, and it always holds the exact density of the witness beside
 // it, so readers can use it as a certified global lower bound at any
@@ -27,8 +44,8 @@ type boundCell struct {
 	witness []int32
 }
 
-// get returns the current lower bound.
-func (c *boundCell) get() rational.R {
+// Bound returns the current lower bound.
+func (c *boundCell) Bound() rational.R {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lower
@@ -41,9 +58,9 @@ func (c *boundCell) snapshot() (rational.R, []int32) {
 	return c.lower, c.witness
 }
 
-// improve installs (d, w) iff d strictly beats the current bound,
+// Improve installs (d, w) iff d strictly beats the current bound,
 // reporting whether it did. Callers pass w slices they will not mutate.
-func (c *boundCell) improve(d rational.R, w []int32) bool {
+func (c *boundCell) Improve(d rational.R, w []int32) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !d.Greater(c.lower) {

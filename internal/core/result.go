@@ -51,6 +51,16 @@ type Stats struct {
 	// Ψ-degree vector via a *WithState entrypoint instead of enumerating
 	// instances itself.
 	ReusedDegrees bool
+	// Sharded-execution counters, set by the internal/shard coordinator
+	// (all zero on in-process runs). ShardComponents counts the planned
+	// component searches; ShardRemote those answered by a remote shard
+	// worker; ShardFallbacks remote failures re-executed locally;
+	// ShardHedges straggler hedges launched (a duplicate local search
+	// racing a slow shard).
+	ShardComponents int
+	ShardRemote     int
+	ShardFallbacks  int
+	ShardHedges     int
 }
 
 // evaluate builds the Result for the subgraph of g induced by vs.

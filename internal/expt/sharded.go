@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+
+	dsd "repro"
+	"repro/internal/graph"
+	"repro/internal/rational"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// benchGraphName is the name the sharded arm registers its graph under,
+// on the coordinator and on every loopback worker.
+const benchGraphName = "bench"
+
+// loopbackWorkers starts n full dsdd-equivalent servers (registry +
+// engine + v3 worker endpoints) holding g, each on its own loopback
+// listener, and returns their base URLs and a shutdown function.
+func loopbackWorkers(g *graph.Graph, n int) ([]string, func(), error) {
+	var (
+		urls    []string
+		servers []*http.Server
+	)
+	stop := func() {
+		for _, hs := range servers {
+			hs.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		reg := service.NewRegistry()
+		if _, err := reg.Register(benchGraphName, g); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		hs := &http.Server{Handler: service.NewServer(reg, service.Config{})}
+		go hs.Serve(ln)
+		servers = append(servers, hs)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	return urls, stop, nil
+}
+
+// shardedArms measures the distributed coordinator on g for each shard
+// count: components fan across that many loopback workers, and every
+// arm's merged density is gated against the serial engine's.
+func shardedArms(g *graph.Graph, h int, serial rational.R, counts []int, reps int) ([]ShardArm, error) {
+	var arms []ShardArm
+	for _, count := range counts {
+		urls, stop, err := loopbackWorkers(g, count)
+		if err != nil {
+			return nil, err
+		}
+		local := service.NewRegistry()
+		if _, err := local.Register(benchGraphName, g); err != nil {
+			stop()
+			return nil, err
+		}
+		coord := shard.NewCoordinator(local, shard.NewSet(urls...), shard.Config{})
+		var res *dsd.Result
+		var solveErr error
+		ns := bestOf(reps, func() {
+			res, solveErr = coord.Solve(context.Background(), benchGraphName, dsd.Query{H: h})
+		})
+		stop()
+		if solveErr != nil {
+			return nil, fmt.Errorf("sharded arm (%d shards): %w", count, solveErr)
+		}
+		match := res.Density.Cmp(serial) == 0
+		arms = append(arms, ShardArm{
+			Shards:       count,
+			NsOp:         ns,
+			Remote:       res.Stats.ShardRemote,
+			Fallbacks:    res.Stats.ShardFallbacks,
+			DensityMatch: &match,
+		})
+	}
+	return arms, nil
+}

@@ -166,6 +166,72 @@ func (s *Solver) Run(ctx context.Context, budget int) error {
 	return nil
 }
 
+// stallFraction is RunAdaptive's early-stop threshold: a chunk that
+// shrinks the bound gap by less than this fraction of itself ends the
+// run. The bounds converge as O(1/T), so once a whole chunk buys under
+// 1% the remaining budget would buy little more.
+const stallFraction = 0.01
+
+// RunAdaptive executes up to budget additional iterations in chunks,
+// stopping early once the upper−lower gap stalls — the chunk's relative
+// improvement falls below stallFraction — or closes entirely. The chunk
+// size scales with the instance count: a tiny component (a handful of
+// Ψ-instances) has nothing left to learn after an iteration or two, and
+// sizing the measurement window down means it stops paying almost
+// immediately, while large hypergraphs keep the amortization of longer
+// chunks. It returns the number of iterations actually run.
+//
+// Stopping early never affects answers: the bounds are conservative
+// certificates at every iteration count, so callers get the same density
+// whether the gap stalled or the budget ran out (the engine-level
+// equivalence suites assert exactly this).
+func (s *Solver) RunAdaptive(ctx context.Context, budget int) (int, error) {
+	if budget <= 0 {
+		return 0, nil
+	}
+	chunk := s.adaptiveChunk()
+	run := 0
+	gap := s.gap()
+	for run < budget {
+		step := chunk
+		if rem := budget - run; step > rem {
+			step = rem
+		}
+		if err := s.Run(ctx, step); err != nil {
+			return run, err
+		}
+		run += step
+		ng := s.gap()
+		if ng <= 0 {
+			break
+		}
+		if gap > 0 && gap-ng < stallFraction*gap {
+			break
+		}
+		gap = ng
+	}
+	return run, nil
+}
+
+// adaptiveChunk sizes RunAdaptive's measurement window off the instance
+// count.
+func (s *Solver) adaptiveChunk() int {
+	switch {
+	case s.total <= 64:
+		return 1
+	case s.total <= 4096:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// gap is the float bound gap used only for the adaptive stall heuristic;
+// the certified comparisons stay rational.
+func (s *Solver) gap() float64 {
+	return s.UpperFloat() - s.lower.Float()
+}
+
 // iterate runs one Greed++ peel: vertices leave in ascending order of
 // load + residual Ψ-degree, each charging its still-alive instances to its
 // load, while the best residual prefix density is tracked exactly.

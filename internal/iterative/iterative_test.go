@@ -200,3 +200,79 @@ func TestSolverEmptyAndTrivial(t *testing.T) {
 		t.Fatalf("triangle upper = %v, below %v", ub, want)
 	}
 }
+
+// TestRunAdaptiveCertificates: the adaptive runner must preserve the
+// certificate contract at whatever iteration count it stops at — bounds
+// bracket the optimum, the witness recomputes to the lower bound — while
+// never exceeding the budget.
+func TestRunAdaptiveCertificates(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := gen.GNM(50, 200, seed)
+		for h := 2; h <= 3; h++ {
+			o := motif.Clique{H: h}
+			s := iterative.New(g, o)
+			ran, err := s.RunAdaptive(context.Background(), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ran < 1 || ran > 64 {
+				t.Fatalf("seed %d h=%d: ran %d iterations, budget 64", seed, h, ran)
+			}
+			if s.Iterations() != ran {
+				t.Fatalf("seed %d h=%d: Iterations() = %d, ran = %d", seed, h, s.Iterations(), ran)
+			}
+			opt := core.Exact(g, h).Density
+			lb, wit := s.Lower()
+			if lb.Greater(opt) {
+				t.Fatalf("seed %d h=%d: adaptive lower %v above optimum %v", seed, h, lb, opt)
+			}
+			if opt.Greater(s.Upper()) {
+				t.Fatalf("seed %d h=%d: adaptive upper %v below optimum %v", seed, h, s.Upper(), opt)
+			}
+			if d := witnessDensity(g, o, wit); d.Cmp(lb) != 0 {
+				t.Fatalf("seed %d h=%d: witness density %v != lower %v", seed, h, d, lb)
+			}
+		}
+	}
+}
+
+// TestRunAdaptiveStopsEarlyOnTinyInstances: a component with a handful
+// of Ψ-instances must stop far short of a large budget — the overhead
+// reclamation the adaptive chunking exists for.
+func TestRunAdaptiveStopsEarlyOnTinyInstances(t *testing.T) {
+	// A single triangle: the bounds converge (gap stalls at zero or a
+	// constant) within the first chunks.
+	tri := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	s := iterative.New(tri, motif.Clique{H: 3})
+	ran, err := s.RunAdaptive(context.Background(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran > 8 {
+		t.Fatalf("tiny instance ran %d of 256 budgeted iterations; adaptive stop did not fire", ran)
+	}
+	if lb, _ := s.Lower(); lb.Cmp(rational.New(1, 3)) != 0 {
+		t.Fatalf("early stop lost the optimum: lower = %v", lb)
+	}
+
+	// Zero/negative budgets run nothing.
+	if ran, _ := s.RunAdaptive(context.Background(), 0); ran != 0 {
+		t.Fatalf("budget 0 ran %d iterations", ran)
+	}
+}
+
+// TestRunAdaptiveCancellation mirrors Run's contract: a cancelled ctx
+// surfaces, reporting the iterations that completed.
+func TestRunAdaptiveCancellation(t *testing.T) {
+	g := gen.GNM(40, 150, 3)
+	s := iterative.New(g, motif.Clique{H: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran, err := s.RunAdaptive(ctx, 8)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("cancelled run reported %d iterations", ran)
+	}
+}

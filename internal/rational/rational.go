@@ -26,6 +26,17 @@ var Zero = R{0, 0}
 // New returns the rational num/den. den must be non-negative.
 func New(num, den int64) R { return R{Num: num, Den: den} }
 
+// Decode builds the exact density num/den from wire-carried integers,
+// mapping anything malformed — a non-positive denominator (the JSON zero
+// value) or a negative numerator — to the empty density, which compares
+// below every proper density and therefore can never inflate a bound.
+func Decode(num, den int64) R {
+	if den <= 0 || num < 0 {
+		return Zero
+	}
+	return New(num, den)
+}
+
 // IsZero reports whether r denotes an empty/zero density.
 func (r R) IsZero() bool { return r.Num == 0 }
 

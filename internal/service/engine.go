@@ -10,6 +10,7 @@ import (
 	dsd "repro"
 	"repro/internal/core"
 	"repro/internal/service/wire"
+	"repro/internal/shard"
 )
 
 // Config tunes an Engine.
@@ -35,6 +36,19 @@ type Config struct {
 	// answers either way; the knob trades pre-solve peeling against
 	// per-α flow solves.
 	AlgoIterative int
+	// ShardAddrs seeds the distributed coordinator's worker set with
+	// shard dsdd base URLs; workers may also self-register at runtime
+	// via POST /v3/shards. While the set is non-empty, core-exact
+	// queries are answered by the coordinator — planned locally, their
+	// component searches fanned across the workers — unless a query opts
+	// out with Shards < 0. The answers are bit-identical either way.
+	ShardAddrs []string
+	// ShardHedge is the coordinator's straggler-hedging delay (0 =
+	// shard.DefaultHedge, negative = hedging off).
+	ShardHedge time.Duration
+	// ShardTimeout bounds each remote component attempt (0 = the
+	// query's own budget only).
+	ShardTimeout time.Duration
 }
 
 // Engine dispatches dsd.Query values against registered graphs through a
@@ -50,14 +64,18 @@ type Engine struct {
 	timeout       time.Duration
 	algoWorkers   int
 	algoIterative int
+	coord         *shard.Coordinator
 
-	queries  atomic.Int64
-	computes atomic.Int64
-	hits     atomic.Int64
-	errors   atomic.Int64
+	queries      atomic.Int64
+	computes     atomic.Int64
+	hits         atomic.Int64
+	errors       atomic.Int64
+	shardQueries atomic.Int64
 }
 
-// NewEngine builds an engine over reg.
+// NewEngine builds an engine over reg. Every engine owns a distributed
+// coordinator; it only takes effect once its worker set is non-empty
+// (seeded from Config.ShardAddrs or grown via shard self-registration).
 func NewEngine(reg *Registry, cfg Config) *Engine {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -70,6 +88,10 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 			algoWorkers = 1
 		}
 	}
+	coord := shard.NewCoordinator(reg, shard.NewSet(cfg.ShardAddrs...), shard.Config{
+		Hedge:            cfg.ShardHedge,
+		ComponentTimeout: cfg.ShardTimeout,
+	})
 	return &Engine{
 		reg:           reg,
 		cache:         NewCache(),
@@ -77,8 +99,13 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		timeout:       cfg.Timeout,
 		algoWorkers:   algoWorkers,
 		algoIterative: cfg.AlgoIterative,
+		coord:         coord,
 	}
 }
+
+// Coordinator returns the engine's distributed coordinator (its Set is
+// how shard workers register).
+func (e *Engine) Coordinator() *shard.Coordinator { return e.coord }
 
 // Workers returns the worker-pool bound.
 func (e *Engine) Workers() int { return cap(e.sem) }
@@ -206,7 +233,18 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 		done := make(chan outcome, 1)
 		go func() {
 			defer func() { <-e.sem }()
-			r, err := entry.Solver.Solve(algoCtx, nq)
+			var r *core.Result
+			var err error
+			if e.coord.Routable(nq) {
+				// Distributed execution: plan locally, fan the located
+				// core's components across the shard workers, merge. The
+				// density is bit-identical to the in-process engine's; a
+				// dead worker costs a local fallback, never the query.
+				e.shardQueries.Add(1)
+				r, err = e.coord.Solve(algoCtx, graphName, nq)
+			} else {
+				r, err = entry.Solver.Solve(algoCtx, nq)
+			}
 			done <- outcome{r, err}
 		}()
 		select {
@@ -233,5 +271,7 @@ func (e *Engine) Stats() wire.StatsResponse {
 		Computes:      e.computes.Load(),
 		CacheHits:     e.hits.Load(),
 		Errors:        e.errors.Load(),
+		Shards:        e.coord.Set().Len(),
+		ShardQueries:  e.shardQueries.Load(),
 	}
 }

@@ -2,31 +2,42 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	dsd "repro"
 	"repro/internal/service/wire"
+	"repro/internal/shard"
 )
 
 // Server is the HTTP JSON API over a Registry and Engine:
 //
-//	POST /v2/query   — run any dsd.Query (wire.QueryV2Request)
-//	POST /v1/query   — run a (graph, pattern, algo) query (legacy)
-//	GET  /v1/graphs  — list registered graphs with their stats
-//	POST /v1/graphs  — register a graph (inline edges or server path)
-//	GET  /v1/stats   — operational counters
-//	GET  /healthz    — liveness probe
+//	POST /v2/query     — run any dsd.Query (wire.QueryV2Request)
+//	POST /v1/query     — run a (graph, pattern, algo) query (legacy)
+//	GET  /v1/graphs    — list registered graphs with their stats
+//	POST /v1/graphs    — register a graph (inline edges or server path)
+//	GET  /v1/stats     — operational counters
+//	GET  /healthz      — liveness probe
+//	POST /v3/component — run one CoreExact component search (shard worker)
+//	POST /v3/bound     — raise an in-flight component search's floor
+//	GET  /v3/shards    — list registered shard workers with health
+//	POST /v3/shards    — register a shard worker's base URL
 //
 // v1 queries are decoded into a dsd.Query and answered by the same
-// pipeline as v2, so the two generations share one result cache.
+// pipeline as v2, so the two generations share one result cache. The v3
+// endpoints are the distributed sharding protocol (internal/shard):
+// every server can act as a shard worker, and a server whose shard set
+// is non-empty coordinates — its v2/v1 core-exact queries fan their
+// component searches across the registered workers.
 type Server struct {
 	reg    *Registry
 	engine *Engine
+	worker *shard.Worker
 	mux    *http.ServeMux
 	// allowPaths gates POST /v1/graphs {"path": ...}: reading arbitrary
 	// server files on request is opt-in (the dsdd binary enables it).
@@ -35,7 +46,7 @@ type Server struct {
 
 // NewServer builds a server over reg with a fresh engine.
 func NewServer(reg *Registry, cfg Config) *Server {
-	s := &Server{reg: reg, engine: NewEngine(reg, cfg)}
+	s := &Server{reg: reg, engine: NewEngine(reg, cfg), worker: shard.NewWorker(reg)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -43,6 +54,9 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.worker.Register(mux)
+	mux.HandleFunc("GET /v3/shards", s.handleListShards)
+	mux.HandleFunc("POST /v3/shards", s.handleRegisterShard)
 	s.mux = mux
 	return s
 }
@@ -176,6 +190,56 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
 
+// handleRegisterShard is POST /v3/shards: a `dsdd -shard-of` worker
+// announcing its base URL. Registration is idempotent (the set dedupes).
+func (s *Server) handleRegisterShard(w http.ResponseWriter, r *http.Request) {
+	var req wire.ShardRegisterRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(req.Addr) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("addr is required"))
+		return
+	}
+	u, err := url.Parse(req.Addr)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("addr %q is not a base URL (want e.g. http://host:port)", req.Addr))
+		return
+	}
+	s.engine.Coordinator().Set().Add(req.Addr)
+	writeJSON(w, http.StatusOK, s.shardInfos(r.Context(), false))
+}
+
+// handleListShards is GET /v3/shards: the registered workers, each with
+// a live health probe.
+func (s *Server) handleListShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.shardInfos(r.Context(), true))
+}
+
+// shardInfos snapshots the shard set; with probe set, each worker's
+// /healthz is checked concurrently under a short timeout.
+func (s *Server) shardInfos(ctx context.Context, probe bool) []wire.ShardInfo {
+	addrs := s.engine.Coordinator().Set().List()
+	infos := make([]wire.ShardInfo, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		infos[i] = wire.ShardInfo{Addr: addr}
+		if !probe {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			infos[i].Healthy = shard.NewClient(nil).Health(pctx, addr) == nil
+		}(i, addr)
+	}
+	wg.Wait()
+	return infos
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -193,28 +257,16 @@ func statusFor(err error) int {
 	}
 }
 
-// maxBodyBytes caps request bodies; the largest legitimate payload is an
-// inline edge list, and one oversized request must not be able to OOM the
-// server.
-const maxBodyBytes = 64 << 20
-
+// The JSON request/response helpers (body cap, strict decoding, error
+// shape) live in the wire package, shared with the v3 shard worker.
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("invalid request body: %w", err)
-	}
-	return nil
+	return wire.DecodeJSON(w, r, dst)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	wire.WriteJSON(w, status, v)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, wire.ErrorResponse{Error: err.Error()})
+	wire.WriteError(w, status, err)
 }

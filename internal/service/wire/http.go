@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// MaxBodyBytes caps request bodies across every dsdd endpoint; the
+// largest legitimate payloads are an inline edge list (v1 registration)
+// and a component vertex set (v3), and one oversized request must not
+// be able to OOM the server.
+const MaxBodyBytes = 64 << 20
+
+// DecodeJSON strictly decodes one JSON request body into dst, bounded
+// by MaxBodyBytes. Both halves of the service (the v1/v2 server and the
+// v3 shard worker) share it so a change to body limits or strictness
+// cannot diverge between them.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// WriteError writes err as an ErrorResponse with the given status.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, ErrorResponse{Error: err.Error()})
+}

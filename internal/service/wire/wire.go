@@ -63,15 +63,17 @@ func FromResult(res *core.Result) *Result {
 // the algorithm, the execution knobs, and the problem-variant
 // parameters. Fields at their zero value are omitted.
 type Query struct {
-	Pattern   string   `json:"pattern,omitempty"`
-	H         int      `json:"h,omitempty"`
-	Algo      string   `json:"algo,omitempty"`
-	Workers   int      `json:"workers,omitempty"`
-	Iterative int      `json:"iterative,omitempty"`
-	Pruning   *Pruning `json:"pruning,omitempty"`
-	Anchors   []int32  `json:"anchors,omitempty"`
-	AtLeast   int      `json:"at_least,omitempty"`
-	Eps       float64  `json:"eps,omitempty"`
+	Pattern    string   `json:"pattern,omitempty"`
+	H          int      `json:"h,omitempty"`
+	Algo       string   `json:"algo,omitempty"`
+	Workers    int      `json:"workers,omitempty"`
+	Iterative  int      `json:"iterative,omitempty"`
+	Shards     int      `json:"shards,omitempty"`
+	ShardAddrs []string `json:"shard_addrs,omitempty"`
+	Pruning    *Pruning `json:"pruning,omitempty"`
+	Anchors    []int32  `json:"anchors,omitempty"`
+	AtLeast    int      `json:"at_least,omitempty"`
+	Eps        float64  `json:"eps,omitempty"`
 }
 
 // Pruning is the wire form of the CoreExact pruning ablations. Every
@@ -90,12 +92,14 @@ type Pruning struct {
 // inside a run.
 func (w Query) ToQuery() (dsd.Query, error) {
 	q := dsd.Query{
-		H:         w.H,
-		Workers:   w.Workers,
-		Iterative: w.Iterative,
-		Anchors:   w.Anchors,
-		AtLeast:   w.AtLeast,
-		Eps:       w.Eps,
+		H:          w.H,
+		Workers:    w.Workers,
+		Iterative:  w.Iterative,
+		Shards:     w.Shards,
+		ShardAddrs: w.ShardAddrs,
+		Anchors:    w.Anchors,
+		AtLeast:    w.AtLeast,
+		Eps:        w.Eps,
 	}
 	if w.Algo != "" {
 		a, err := dsd.ParseAlgo(w.Algo)
@@ -130,12 +134,14 @@ func (w Query) ToQuery() (dsd.Query, error) {
 // canonical form.
 func FromQuery(q dsd.Query) Query {
 	w := Query{
-		Algo:      string(q.Algo),
-		Workers:   q.Workers,
-		Iterative: q.Iterative,
-		Anchors:   q.Anchors,
-		AtLeast:   q.AtLeast,
-		Eps:       q.Eps,
+		Algo:       string(q.Algo),
+		Workers:    q.Workers,
+		Iterative:  q.Iterative,
+		Shards:     q.Shards,
+		ShardAddrs: q.ShardAddrs,
+		Anchors:    q.Anchors,
+		AtLeast:    q.AtLeast,
+		Eps:        q.Eps,
 	}
 	if q.Pattern != nil {
 		w.Pattern = q.Psi()
@@ -166,6 +172,13 @@ type QueryStats struct {
 	PreSolveSkips       int     `json:"pre_solve_skips"`
 	ReusedDecomposition bool    `json:"reused_decomposition,omitempty"`
 	ReusedDegrees       bool    `json:"reused_degrees,omitempty"`
+	// The sharded-execution counters (zero on in-process runs): planned
+	// component searches, those answered remotely, remote failures
+	// re-executed locally, and straggler hedges launched.
+	ShardComponents int `json:"shard_components,omitempty"`
+	ShardRemote     int `json:"shard_remote,omitempty"`
+	ShardFallbacks  int `json:"shard_fallbacks,omitempty"`
+	ShardHedges     int `json:"shard_hedges,omitempty"`
 }
 
 // FromQueryStats converts a run's stats into their wire form.
@@ -179,6 +192,10 @@ func FromQueryStats(st dsd.QueryStats) *QueryStats {
 		PreSolveSkips:       st.PreSolveSkips,
 		ReusedDecomposition: st.ReusedDecomposition,
 		ReusedDegrees:       st.ReusedDegrees,
+		ShardComponents:     st.ShardComponents,
+		ShardRemote:         st.ShardRemote,
+		ShardFallbacks:      st.ShardFallbacks,
+		ShardHedges:         st.ShardHedges,
 	}
 }
 
@@ -274,6 +291,80 @@ type StatsResponse struct {
 	Computes      int64 `json:"computes"`
 	CacheHits     int64 `json:"cache_hits"`
 	Errors        int64 `json:"errors"`
+	// Shards is the number of registered shard workers; ShardQueries
+	// counts computations routed through the distributed coordinator.
+	Shards       int   `json:"shards,omitempty"`
+	ShardQueries int64 `json:"shard_queries,omitempty"`
+}
+
+// ComponentRequest is the wire v3 shard-execution message
+// (POST /v3/component): one connected component of a located (k,Ψ)-core,
+// shipped by a coordinator to a shard worker holding the same graph. It
+// reuses the v2 Query encoding for the motif and knobs; Component is the
+// component's vertex set in original ids, KLocate the core level the
+// coordinator located it at, and FloorNum/FloorDen the coordinator's
+// current certified global lower bound — the worker seeds its search
+// floor from it and the coordinator keeps raising it via BoundRequest as
+// sibling components report in.
+type ComponentRequest struct {
+	Graph string `json:"graph"`
+	// SearchID names this in-flight search for bound rebroadcasts;
+	// empty disables them.
+	SearchID  string  `json:"search_id,omitempty"`
+	Query     Query   `json:"query"`
+	Component []int32 `json:"component"`
+	KLocate   int64   `json:"k_locate"`
+	FloorNum  int64   `json:"floor_num,omitempty"`
+	FloorDen  int64   `json:"floor_den,omitempty"`
+}
+
+// ComponentResponse answers a ComponentRequest: the best subgraph found
+// inside the component (empty witness when nothing beat the floor) with
+// its exact density, plus the search's counters for the coordinator's
+// stats merge.
+type ComponentResponse struct {
+	Graph           string  `json:"graph"`
+	SearchID        string  `json:"search_id,omitempty"`
+	DensityNum      int64   `json:"density_num"`
+	DensityDen      int64   `json:"density_den"`
+	Density         float64 `json:"density"`
+	Witness         []int32 `json:"witness,omitempty"`
+	FlowSolves      int     `json:"flow_solves"`
+	PreSolveIters   int     `json:"pre_solve_iters"`
+	PreSolveSkipped bool    `json:"pre_solve_skipped,omitempty"`
+	TotalMs         float64 `json:"total_ms"`
+}
+
+// BoundRequest rebroadcasts an improved global lower bound to an
+// in-flight component search (POST /v3/bound). The bound is the exact
+// density of a real subgraph found elsewhere; the worker raises the
+// named search's floor, which can only remove work.
+type BoundRequest struct {
+	SearchID string `json:"search_id"`
+	FloorNum int64  `json:"floor_num"`
+	FloorDen int64  `json:"floor_den"`
+}
+
+// BoundResponse reports what a BoundRequest did: Active that the named
+// search was still in flight, Raised that the floor actually rose.
+type BoundResponse struct {
+	SearchID string `json:"search_id"`
+	Active   bool   `json:"active"`
+	Raised   bool   `json:"raised"`
+}
+
+// ShardRegisterRequest registers a shard worker's base URL with a
+// coordinator (POST /v3/shards) — how a `dsdd -shard-of` worker
+// announces itself after binding its listener.
+type ShardRegisterRequest struct {
+	Addr string `json:"addr"`
+}
+
+// ShardInfo is one registered shard worker as seen by the coordinator
+// (GET /v3/shards): its base URL and whether its health probe answered.
+type ShardInfo struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
 }
 
 // ErrorResponse carries an API error.

@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/rational"
+)
+
+// mergeCell is the coordinator's monotone (lower bound, witness) pair —
+// the cross-machine analogue of the in-process engine's bound cell. It
+// additionally carries subscriptions: every in-flight component search
+// (remote or local-fallback) registers a callback, and an improvement is
+// rebroadcast to every OTHER subscriber so slow searches tighten their
+// ranges or abort mid-flight. Notifications run on their own goroutines
+// — a rebroadcast is a best-effort optimization, and a stalled worker
+// must never block the merge.
+type mergeCell struct {
+	mu      sync.Mutex
+	lower   rational.R
+	witness []int32
+	subs    map[int]func(rational.R)
+	nextSub int
+}
+
+func newMergeCell(lower rational.R, witness []int32) *mergeCell {
+	return &mergeCell{lower: lower, witness: witness, subs: make(map[int]func(rational.R))}
+}
+
+// bound returns the current certified global lower bound.
+func (c *mergeCell) bound() rational.R {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lower
+}
+
+// snapshot returns the current (bound, witness) pair.
+func (c *mergeCell) snapshot() (rational.R, []int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lower, c.witness
+}
+
+// improve installs (d, w) iff d strictly beats the current bound and
+// rebroadcasts the new bound to every subscriber except self (the search
+// that produced it — it is done, or already knows). Callers pass w
+// slices they will not mutate.
+func (c *mergeCell) improve(d rational.R, w []int32, self int) bool {
+	c.mu.Lock()
+	if !d.Greater(c.lower) {
+		c.mu.Unlock()
+		return false
+	}
+	c.lower = d
+	c.witness = w
+	notify := make([]func(rational.R), 0, len(c.subs))
+	for id, fn := range c.subs {
+		if id != self {
+			notify = append(notify, fn)
+		}
+	}
+	c.mu.Unlock()
+	for _, fn := range notify {
+		go fn(d)
+	}
+	return true
+}
+
+// subscribe registers fn to receive future bound improvements, returning
+// the subscription id (also the `self` to pass to improve).
+func (c *mergeCell) subscribe(fn func(rational.R)) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = fn
+	return id
+}
+
+// unsubscribe drops a subscription; in-flight notifications may still
+// fire after it returns (they hold no cell state, only the bound value).
+func (c *mergeCell) unsubscribe(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.subs, id)
+}
+
+// ratio is the wire-decoding constructor for densities (see
+// rational.Decode: malformed pairs become the empty density).
+func ratio(num, den int64) rational.R { return rational.Decode(num, den) }

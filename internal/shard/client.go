@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/service/wire"
+)
+
+// Client speaks the wire v3 shard protocol to any number of workers —
+// unlike the v1/v2 client it is not bound to one base URL, because the
+// coordinator addresses a different worker per component.
+type Client struct {
+	http *http.Client
+}
+
+// NewClient returns a v3 client over hc (nil = http.DefaultClient).
+func NewClient(hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{http: hc}
+}
+
+// Component ships one component search to the worker at addr and blocks
+// for its result; ctx bounds the whole exchange.
+func (c *Client) Component(ctx context.Context, addr string, req wire.ComponentRequest) (*wire.ComponentResponse, error) {
+	var resp wire.ComponentResponse
+	if err := c.post(ctx, addr, "/v3/component", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Bound rebroadcasts an improved global lower bound to an in-flight
+// search on the worker at addr.
+func (c *Client) Bound(ctx context.Context, addr string, req wire.BoundRequest) (*wire.BoundResponse, error) {
+	var resp wire.BoundResponse
+	if err := c.post(ctx, addr, "/v3/bound", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Register announces a worker's base URL to the coordinator at addr.
+func (c *Client) Register(ctx context.Context, addr, workerAddr string) error {
+	return c.post(ctx, addr, "/v3/shards", wire.ShardRegisterRequest{Addr: workerAddr}, nil)
+}
+
+// Health probes the worker's liveness endpoint.
+func (c *Client) Health(ctx context.Context, addr string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, normalizeAddr(addr)+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: health %s: status %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// post sends one JSON request and decodes the JSON response into out
+// (nil out discards it). Non-2xx responses surface the server's message.
+func (c *Client) post(ctx context.Context, addr, path string, in, out any) error {
+	buf, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, normalizeAddr(addr)+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr wire.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("shard: %s%s: status %d: %s", addr, path, resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("shard: %s%s: status %d", addr, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

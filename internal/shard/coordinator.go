@@ -1,0 +1,463 @@
+package shard
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dsd "repro"
+	"repro/internal/rational"
+	"repro/internal/service/wire"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// HTTPClient carries the v3 traffic (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Hedge is the straggler delay: a remote component search that has
+	// not answered after this long gets a duplicate local search racing
+	// it, first result wins. 0 picks DefaultHedge; negative disables
+	// hedging.
+	Hedge time.Duration
+	// ComponentTimeout bounds each remote component attempt (0 = only
+	// the query's own ctx). A timed-out attempt counts as a failure and
+	// falls back to local execution.
+	ComponentTimeout time.Duration
+	// FailureLimit is how many remote failures a shard is allowed within
+	// one query before the coordinator stops offering it components and
+	// runs the rest of that lane locally (0 = DefaultFailureLimit).
+	FailureLimit int
+}
+
+// DefaultHedge is the default straggler-hedging delay. It only bounds
+// how long a lost answer stays lost — correctness never depends on it —
+// so it errs high enough that healthy-but-busy workers are not flooded
+// with duplicate work.
+const DefaultHedge = 3 * time.Second
+
+// DefaultFailureLimit is how many remote failures one query tolerates
+// per shard before writing the shard off for the rest of that query.
+const DefaultFailureLimit = 2
+
+// boundTimeout bounds one best-effort bound rebroadcast.
+const boundTimeout = 2 * time.Second
+
+// Coordinator executes CoreExact/CorePExact queries by planning locally
+// and fanning the located core's components out to shard workers. One
+// goroutine lane per worker pulls components off a shared cursor —
+// densest first, matching the in-process engine's order — so faster
+// shards naturally take more components; results merge through a
+// monotone cell whose improvements are rebroadcast to every in-flight
+// search. A failed or straggling remote search is re-executed locally
+// (fallback/hedge), so losing workers degrades throughput, never
+// answers.
+type Coordinator struct {
+	src         SolverSource
+	set         *Set
+	client      *Client
+	hedge       time.Duration
+	compTimeout time.Duration
+	failLimit   int
+	token       string
+	seq         atomic.Int64
+	solves      atomic.Int64
+}
+
+// NewCoordinator builds a coordinator answering from src (planning and
+// fallback execution) and dispatching to the workers registered in set.
+func NewCoordinator(src SolverSource, set *Set, cfg Config) *Coordinator {
+	hedge := cfg.Hedge
+	switch {
+	case hedge == 0:
+		hedge = DefaultHedge
+	case hedge < 0:
+		hedge = 0 // disabled
+	}
+	failLimit := cfg.FailureLimit
+	if failLimit <= 0 {
+		failLimit = DefaultFailureLimit
+	}
+	tok := make([]byte, 4)
+	rand.Read(tok)
+	return &Coordinator{
+		src:         src,
+		set:         set,
+		client:      NewClient(cfg.HTTPClient),
+		hedge:       hedge,
+		compTimeout: cfg.ComponentTimeout,
+		failLimit:   failLimit,
+		token:       hex.EncodeToString(tok),
+	}
+}
+
+// Set returns the coordinator's worker registry (grown by /v3/shards
+// self-registration).
+func (c *Coordinator) Set() *Set { return c.set }
+
+// Solves returns the number of queries executed through the coordinator.
+func (c *Coordinator) Solves() int64 { return c.solves.Load() }
+
+// Routable reports whether q would actually be distributed: a core-exact
+// query that has not opted out (Shards < 0), on a coordinator whose own
+// worker set is non-empty. The engine consults it before choosing the
+// coordinator over the in-process Solver.
+//
+// The set-gate is a hardening boundary, not just a default: Query.
+// ShardAddrs arrives from untrusted API clients, and honoring it on a
+// server whose operator never enabled sharding would let any caller
+// make the server dial arbitrary URLs (and ship vertex sets to them).
+// Only once the operator opted in — `-shards`, or a worker registering —
+// may a query redirect the fan-out.
+func (c *Coordinator) Routable(q dsd.Query) bool {
+	nq, err := q.Normalized()
+	if err != nil || nq.Algo != dsd.AlgoCoreExact || nq.Shards < 0 {
+		return false
+	}
+	return c.set.Len() > 0
+}
+
+// shardsFor resolves the worker set one query fans across.
+func (c *Coordinator) shardsFor(q dsd.Query) []string {
+	addrs := q.ShardAddrs
+	if len(addrs) == 0 {
+		addrs = c.set.List()
+	} else {
+		norm := make([]string, 0, len(addrs))
+		for _, a := range addrs {
+			if a = normalizeAddr(a); a != "" {
+				norm = append(norm, a)
+			}
+		}
+		addrs = norm
+	}
+	if q.Shards > 0 && len(addrs) > q.Shards {
+		addrs = addrs[:q.Shards]
+	}
+	return addrs
+}
+
+// shardStats accumulates the per-query counters the merged Result's
+// Stats report.
+type shardStats struct {
+	remote    atomic.Int64
+	fallbacks atomic.Int64
+	hedges    atomic.Int64
+
+	mu         sync.Mutex
+	flowSolves int
+	preIters   int
+	preSkips   int
+}
+
+func (st *shardStats) addSearch(flow, pre int, skip bool) {
+	st.mu.Lock()
+	st.flowSolves += flow
+	st.preIters += pre
+	if skip {
+		st.preSkips++
+	}
+	st.mu.Unlock()
+}
+
+// Solve answers q (which must be routable to core-exact) on the graph
+// registered under graphName, distributing the component searches. The
+// returned density is bit-identical to the in-process engines' — the
+// merged witness is re-certified against the local graph, and every
+// bound that crosses the wire is the exact density of a real subgraph.
+func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) (*dsd.Result, error) {
+	start := time.Now()
+	solver, ok := c.src.SolverFor(graphName)
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown graph %q", graphName)
+	}
+	nq, err := q.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if nq.Algo != dsd.AlgoCoreExact {
+		return nil, fmt.Errorf("shard: only %s queries distribute (got %s)", dsd.AlgoCoreExact, nq.Algo)
+	}
+	c.solves.Add(1)
+
+	plan, err := solver.PlanComponents(ctx, nq)
+	if err != nil {
+		return nil, err
+	}
+	st := &shardStats{}
+	if plan.Empty {
+		return c.finish(solver, nq, nil, plan, st, start)
+	}
+
+	addrs := c.shardsFor(nq)
+	cell := newMergeCell(ratio(plan.LowerNum, plan.LowerDen), plan.Witness)
+	// Workers answer one component at a time; the shard knobs and the
+	// in-process Workers pool are the coordinator's concern, so the
+	// shipped query carries neither.
+	wq := nq
+	wq.Shards = 0
+	wq.ShardAddrs = nil
+	wq.Workers = 0
+	wireQ := wire.FromQuery(wq)
+	runID := fmt.Sprintf("%s-%d", c.token, c.seq.Add(1))
+
+	n := len(plan.Components)
+	lanes := len(addrs)
+	if lanes == 0 {
+		lanes = 1
+	}
+	if lanes > n {
+		lanes = n
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, n)
+	for li := 0; li < lanes; li++ {
+		addr := ""
+		if len(addrs) > 0 {
+			addr = addrs[li%len(addrs)]
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			remoteFails := 0
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				useAddr := addr
+				if remoteFails >= c.failLimit {
+					// The shard burned its failure budget for this query:
+					// its lane keeps draining components locally.
+					useAddr = ""
+				}
+				failed, err := c.runComponent(ctx, solver, graphName, wireQ, nq, plan, i, runID, useAddr, cell, st)
+				errs[i] = err
+				if failed {
+					remoteFails++
+				}
+			}
+		}(addr)
+	}
+	wg.Wait()
+	// Cancellation first: lanes drop unprocessed components on a dead
+	// ctx, so a partially-merged cell must never leave as an answer.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	_, witness := cell.snapshot()
+	return c.finish(solver, nq, witness, plan, st, start)
+}
+
+// finish re-certifies the winning witness against the local graph and
+// stamps the merged stats.
+func (c *Coordinator) finish(solver *dsd.Solver, nq dsd.Query, witness []int32, plan *dsd.ComponentPlan, st *shardStats, start time.Time) (*dsd.Result, error) {
+	res, err := solver.EvaluateWitness(nq, witness)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	res.Stats.Iterations = st.flowSolves
+	res.Stats.PreSolveIters = st.preIters
+	res.Stats.PreSolveSkips = st.preSkips
+	st.mu.Unlock()
+	res.Stats.Decompose = plan.Decompose
+	res.Stats.ReusedDecomposition = plan.ReusedDecomposition
+	res.Stats.ShardComponents = len(plan.Components)
+	res.Stats.ShardRemote = int(st.remote.Load())
+	res.Stats.ShardFallbacks = int(st.fallbacks.Load())
+	res.Stats.ShardHedges = int(st.hedges.Load())
+	res.Stats.Total = time.Since(start)
+	return res, nil
+}
+
+// answer is one component attempt's outcome (remote or local).
+type answer struct {
+	d      rational.R
+	w      []int32
+	flow   int
+	pre    int
+	skip   bool
+	remote bool
+	err    error
+}
+
+// runComponent executes one plan component: remotely on addr when
+// non-empty (with bound rebroadcasts, straggler hedging, and local
+// fallback on failure), locally otherwise. It reports whether the
+// remote attempt failed — the lane's failure accounting — and the
+// component's terminal error, which is nil whenever any attempt
+// succeeded.
+func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, graphName string,
+	wireQ wire.Query, nq dsd.Query, plan *dsd.ComponentPlan, i int, runID, addr string,
+	cell *mergeCell, st *shardStats) (bool, error) {
+	comp := plan.Components[i]
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan answer, 2)
+
+	launchLocal := func() {
+		go func() {
+			b := cell.bound()
+			floor := dsd.NewComponentFloor(b.Num, b.Den)
+			// Later sibling improvements keep tightening the local search.
+			fsub := cell.subscribe(func(d rational.R) { floor.Raise(d.Num, d.Den) })
+			defer cell.unsubscribe(fsub)
+			res, err := solver.SolveComponent(rctx, nq, comp, plan.KLocate, floor)
+			if err != nil {
+				ch <- answer{err: err}
+				return
+			}
+			ch <- answer{
+				d:    ratio(res.DensityNum, res.DensityDen),
+				w:    res.Witness,
+				flow: res.FlowSolves, pre: res.PreSolveIters, skip: res.PreSolveSkipped,
+			}
+		}()
+	}
+
+	if addr == "" {
+		launchLocal()
+		select {
+		case a := <-ch:
+			if a.err != nil {
+				return false, a.err
+			}
+			c.merge(solver, nq, a, -1, cell, st)
+			return false, nil
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+	}
+
+	searchID := fmt.Sprintf("%s-c%d", runID, i)
+	// Subscribe before reading the floor for the request, so no
+	// improvement can slip between the two: a duplicate rebroadcast is
+	// harmless (Raise is monotone), a missed one costs pruning.
+	sub := cell.subscribe(func(d rational.R) {
+		bctx, bcancel := context.WithTimeout(context.Background(), boundTimeout)
+		defer bcancel()
+		c.client.Bound(bctx, addr, wire.BoundRequest{SearchID: searchID, FloorNum: d.Num, FloorDen: d.Den})
+	})
+	defer cell.unsubscribe(sub)
+
+	go func() {
+		b := cell.bound()
+		cctx := rctx
+		if c.compTimeout > 0 {
+			var ccancel context.CancelFunc
+			cctx, ccancel = context.WithTimeout(rctx, c.compTimeout)
+			defer ccancel()
+		}
+		resp, err := c.client.Component(cctx, addr, wire.ComponentRequest{
+			Graph:     graphName,
+			SearchID:  searchID,
+			Query:     wireQ,
+			Component: comp,
+			KLocate:   plan.KLocate,
+			FloorNum:  b.Num,
+			FloorDen:  b.Den,
+		})
+		if err != nil {
+			ch <- answer{remote: true, err: err}
+			return
+		}
+		ch <- answer{
+			remote: true,
+			d:      ratio(resp.DensityNum, resp.DensityDen),
+			w:      resp.Witness,
+			flow:   resp.FlowSolves, pre: resp.PreSolveIters, skip: resp.PreSolveSkipped,
+		}
+	}()
+
+	var hedgeCh <-chan time.Time
+	if c.hedge > 0 {
+		t := time.NewTimer(c.hedge)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+	remoteFailed := false
+	localRunning := false
+	pending := 1
+	for {
+		select {
+		case a := <-ch:
+			pending--
+			if a.err == nil {
+				c.merge(solver, nq, a, sub, cell, st)
+				if a.remote {
+					st.remote.Add(1)
+				}
+				return remoteFailed, nil
+			}
+			if a.remote {
+				remoteFailed = true
+				if ctx.Err() != nil {
+					return true, ctx.Err()
+				}
+				if !localRunning {
+					// Dead worker → the component re-executes here; the
+					// query never loses it.
+					st.fallbacks.Add(1)
+					launchLocal()
+					localRunning = true
+					pending++
+				}
+				continue
+			}
+			// The local attempt failed. Outside cancellation that means a
+			// real error; surface it unless the remote might still answer.
+			if ctx.Err() != nil {
+				return remoteFailed, ctx.Err()
+			}
+			if pending == 0 {
+				return remoteFailed, a.err
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			if !localRunning {
+				// Straggler hedge: the remote search keeps running, but a
+				// local duplicate races it from the current (higher) floor;
+				// first result wins and cancels the other.
+				st.hedges.Add(1)
+				launchLocal()
+				localRunning = true
+				pending++
+			}
+		case <-ctx.Done():
+			return remoteFailed, ctx.Err()
+		}
+	}
+}
+
+// merge folds one successful component answer into the cell and stats.
+// A remote witness's density is re-certified against the local graph
+// before it can raise the shared bound: wire-carried numbers are never
+// trusted to prune sibling searches.
+func (c *Coordinator) merge(solver *dsd.Solver, nq dsd.Query, a answer, self int, cell *mergeCell, st *shardStats) {
+	st.addSearch(a.flow, a.pre, a.skip)
+	if len(a.w) == 0 {
+		return
+	}
+	d := a.d
+	if a.remote {
+		if ev, err := solver.EvaluateWitness(nq, a.w); err == nil {
+			d = ev.Density
+		} else {
+			return
+		}
+	}
+	cell.improve(d, a.w, self)
+}

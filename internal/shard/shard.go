@@ -1,0 +1,129 @@
+// Package shard is the distributed CoreExact/CorePExact execution layer:
+// a coordinator that runs Algorithm 4's location steps locally — core
+// decomposition, component split, Pruning2 — and fans the located core's
+// connected components out to shard dsdd workers over the wire v3
+// protocol, merging their (density, witness) answers through the same
+// monotone-bound semantics the in-process parallel engine uses.
+//
+// The decomposition is the one the paper already licenses: component
+// searches are independent except for the global lower bound l, so the
+// only cross-machine traffic is one ComponentRequest per component, one
+// ComponentResponse back, and best-effort BoundRequest rebroadcasts that
+// tighten in-flight searches as siblings report in. Sharing only ever
+// removes work, so the merged density is bit-identical to the serial
+// engine's for any shard count, any rebroadcast timing, and any fault
+// pattern — a dead or straggling worker costs a local re-execution
+// (fallback/hedge), never the answer.
+//
+//	client ──POST /v2/query──▶ coordinator dsdd
+//	                             │  PlanComponents (local)
+//	                             ├──POST /v3/component──▶ worker dsdd ──┐
+//	                             ├──POST /v3/component──▶ worker dsdd   │ SolveComponent
+//	                             │◀─────(density, witness, counters)────┘ via per-graph Solver
+//	                             ├──POST /v3/bound──▶ (rebroadcast to in-flight searches)
+//	                             └─ merge → EvaluateWitness → result
+package shard
+
+import (
+	"strings"
+	"sync"
+
+	dsd "repro"
+)
+
+// SolverSource resolves a graph name to the per-graph Solver that should
+// answer it — the seam between this package and whoever owns graphs (the
+// service registry, or a CLI's single loaded graph). Workers use it to
+// answer ComponentRequests; the coordinator uses it for planning and for
+// local fallback execution.
+type SolverSource interface {
+	SolverFor(name string) (*dsd.Solver, bool)
+}
+
+// SingleSolver is a SolverSource holding exactly one named solver — the
+// dsd CLI's coordinator side, where one graph was loaded from a file.
+func SingleSolver(name string, s *dsd.Solver) SolverSource {
+	return singleSolver{name: name, s: s}
+}
+
+type singleSolver struct {
+	name string
+	s    *dsd.Solver
+}
+
+func (ss singleSolver) SolverFor(name string) (*dsd.Solver, bool) {
+	if name != ss.name {
+		return nil, false
+	}
+	return ss.s, true
+}
+
+// Set is the coordinator's registry of shard worker base URLs: seeded
+// from configuration (`dsdd -shards`), grown by self-registration
+// (POST /v3/shards from `dsdd -shard-of` workers), deduplicated, and
+// safe for concurrent use.
+type Set struct {
+	mu    sync.RWMutex
+	addrs []string
+}
+
+// NewSet returns a set seeded with addrs (normalized, deduplicated).
+func NewSet(addrs ...string) *Set {
+	s := &Set{}
+	for _, a := range addrs {
+		s.Add(a)
+	}
+	return s
+}
+
+// normalizeAddr canonicalizes a worker base URL for dedup: trimmed, no
+// trailing slash.
+func normalizeAddr(addr string) string {
+	return strings.TrimRight(strings.TrimSpace(addr), "/")
+}
+
+// Add registers addr, reporting whether it was new. Empty addresses are
+// ignored.
+func (s *Set) Add(addr string) bool {
+	addr = normalizeAddr(addr)
+	if addr == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.addrs {
+		if a == addr {
+			return false
+		}
+	}
+	s.addrs = append(s.addrs, addr)
+	return true
+}
+
+// Remove drops addr, reporting whether it was present.
+func (s *Set) Remove(addr string) bool {
+	addr = normalizeAddr(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, a := range s.addrs {
+		if a == addr {
+			s.addrs = append(s.addrs[:i], s.addrs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// List returns the registered addresses in registration order.
+func (s *Set) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.addrs...)
+}
+
+// Len returns the number of registered workers.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.addrs)
+}

@@ -1,0 +1,337 @@
+// Sharded-execution proof obligations, run against real HTTP workers on
+// loopback: the coordinator's merged density must be bit-identical to
+// the serial in-process engine on an equivalence corpus, and no fault —
+// a dead worker, a timing-out worker, a connection dropped mid-search —
+// may change an answer (only the fallback/hedge counters).
+package shard_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	dsd "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// corpusGraphs is the sharding equivalence corpus: ~30 random graphs of
+// three families (mirroring internal/core's corpus) plus the
+// deterministic multi-component stress instance, where distribution
+// actually has components to fan out.
+func corpusGraphs(tb testing.TB) []*graph.Graph {
+	tb.Helper()
+	var gs []*graph.Graph
+	for seed := int64(1); seed <= 10; seed++ {
+		gs = append(gs, gen.GNM(60, 250, seed))
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		gs = append(gs, gen.ChungLu(80, 320, 2.3, seed))
+	}
+	for seed := int64(1); seed <= 9; seed++ {
+		gs = append(gs, gen.SSCA(70, 8, seed))
+	}
+	gs = append(gs, gen.MultiCommunity(6, 18, 8, 11, 12, 1))
+	return gs
+}
+
+// registerAll registers every corpus graph under g<i> on a registry.
+func registerAll(tb testing.TB, reg *service.Registry, gs []*graph.Graph) {
+	tb.Helper()
+	for i, g := range gs {
+		if _, err := reg.Register(graphName(i), g); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+func graphName(i int) string { return "g" + string(rune('A'+i/26)) + string(rune('a'+i%26)) }
+
+// newWorkerServer spins a full dsdd-equivalent server (registry +
+// engine + v3 worker endpoints) holding gs, on loopback.
+func newWorkerServer(tb testing.TB, gs []*graph.Graph) *httptest.Server {
+	tb.Helper()
+	reg := service.NewRegistry()
+	registerAll(tb, reg, gs)
+	ts := httptest.NewServer(service.NewServer(reg, service.Config{}))
+	tb.Cleanup(ts.Close)
+	return ts
+}
+
+// TestShardedEquivalence is the distribution proof obligation: across
+// the corpus and h ∈ {2,3}, a coordinator fanning components over two
+// loopback workers must return exactly the serial engine's density
+// (rational comparison). Run under -race this also exercises merges,
+// rebroadcast subscriptions, and floor raises racing into live searches.
+func TestShardedEquivalence(t *testing.T) {
+	gs := corpusGraphs(t)
+	w1 := newWorkerServer(t, gs)
+	w2 := newWorkerServer(t, gs)
+
+	local := service.NewRegistry()
+	registerAll(t, local, gs)
+	coord := shard.NewCoordinator(local, shard.NewSet(w1.URL, w2.URL), shard.Config{})
+
+	ctx := context.Background()
+	var remote int
+	for i, g := range gs {
+		for h := 2; h <= 3; h++ {
+			q := dsd.Query{H: h}
+			serial, err := dsd.NewSolver(g).Solve(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := coord.Solve(ctx, graphName(i), q)
+			if err != nil {
+				t.Fatalf("graph %d h=%d: %v", i, h, err)
+			}
+			if res.Density.Cmp(serial.Density) != 0 {
+				t.Fatalf("graph %d h=%d: sharded density %v != serial %v",
+					i, h, res.Density, serial.Density)
+			}
+			if res.Stats.ShardFallbacks != 0 {
+				t.Fatalf("graph %d h=%d: healthy workers produced %d fallbacks",
+					i, h, res.Stats.ShardFallbacks)
+			}
+			remote += res.Stats.ShardRemote
+		}
+	}
+	if remote == 0 {
+		t.Fatal("no component search was ever answered remotely")
+	}
+}
+
+// TestShardedDeadWorker: a worker that is down before the query starts
+// (connection refused) must cost fallbacks, never the answer — and a
+// second live worker keeps taking components.
+func TestShardedDeadWorker(t *testing.T) {
+	g := gen.MultiCommunity(6, 18, 8, 11, 12, 1)
+	gs := []*graph.Graph{g}
+	live := newWorkerServer(t, gs)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // bound then released: connections now refuse
+
+	local := service.NewRegistry()
+	registerAll(t, local, gs)
+	coord := shard.NewCoordinator(local, shard.NewSet(dead.URL, live.URL), shard.Config{})
+
+	serial, err := dsd.NewSolver(g).Solve(context.Background(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Solve(context.Background(), graphName(0), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density.Cmp(serial.Density) != 0 {
+		t.Fatalf("density with dead worker %v != serial %v", res.Density, serial.Density)
+	}
+	if res.Stats.ShardFallbacks == 0 {
+		t.Fatal("dead worker produced no fallback")
+	}
+	if res.Stats.ShardComponents == 0 {
+		t.Fatal("stress instance produced no components")
+	}
+}
+
+// TestShardedMidQueryDeath: a worker that accepts /v3/component and then
+// drops the connection mid-flight (a crash during the search) must be
+// recovered by local re-execution.
+func TestShardedMidQueryDeath(t *testing.T) {
+	g := gen.MultiCommunity(6, 18, 8, 11, 12, 1)
+	gs := []*graph.Graph{g}
+
+	var killed atomic.Int64
+	crasher := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v3/component") {
+			killed.Add(1)
+			// Hijack and slam the connection: the client sees an abrupt
+			// EOF with no HTTP response, as from a killed process.
+			if hj, ok := w.(http.Hijacker); ok {
+				conn, _, err := hj.Hijack()
+				if err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic("no hijacker")
+		}
+		http.NotFound(w, r)
+	}))
+	defer crasher.Close()
+
+	local := service.NewRegistry()
+	registerAll(t, local, gs)
+	coord := shard.NewCoordinator(local, shard.NewSet(crasher.URL), shard.Config{})
+
+	serial, err := dsd.NewSolver(g).Solve(context.Background(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Solve(context.Background(), graphName(0), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density.Cmp(serial.Density) != 0 {
+		t.Fatalf("density after mid-query death %v != serial %v", res.Density, serial.Density)
+	}
+	if killed.Load() == 0 {
+		t.Fatal("the crasher was never contacted")
+	}
+	if res.Stats.ShardFallbacks == 0 {
+		t.Fatal("mid-query death produced no fallback")
+	}
+	if res.Stats.ShardRemote != 0 {
+		t.Fatal("a killed connection cannot have answered a component")
+	}
+}
+
+// TestShardedTimeout: a worker that hangs past ComponentTimeout is a
+// failure — the component falls back locally and the answer is exact.
+func TestShardedTimeout(t *testing.T) {
+	g := gen.MultiCommunity(5, 16, 7, 10, 12, 1)
+	gs := []*graph.Graph{g}
+
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v3/component") {
+			select {
+			case <-r.Context().Done():
+			case <-time.After(30 * time.Second):
+			}
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer hang.Close()
+
+	local := service.NewRegistry()
+	registerAll(t, local, gs)
+	coord := shard.NewCoordinator(local, shard.NewSet(hang.URL), shard.Config{
+		ComponentTimeout: 50 * time.Millisecond,
+		Hedge:            -1, // isolate the timeout path from hedging
+	})
+
+	serial, err := dsd.NewSolver(g).Solve(context.Background(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := coord.Solve(context.Background(), graphName(0), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density.Cmp(serial.Density) != 0 {
+		t.Fatalf("density after shard timeouts %v != serial %v", res.Density, serial.Density)
+	}
+	if res.Stats.ShardFallbacks == 0 {
+		t.Fatal("timeouts produced no fallback")
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("query took %v: timeouts did not bound the hang", elapsed)
+	}
+}
+
+// TestShardedStragglerHedge: a slow-but-alive worker is hedged — a local
+// duplicate races it and wins — without ComponentTimeout ever firing.
+func TestShardedStragglerHedge(t *testing.T) {
+	g := gen.MultiCommunity(5, 16, 7, 10, 12, 1)
+	gs := []*graph.Graph{g}
+
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v3/component") {
+			// Slower than the hedge delay but cancellable: the hedge's win
+			// cancels this request instead of waiting it out.
+			select {
+			case <-r.Context().Done():
+			case <-time.After(25 * time.Second):
+			}
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer slow.Close()
+
+	local := service.NewRegistry()
+	registerAll(t, local, gs)
+	coord := shard.NewCoordinator(local, shard.NewSet(slow.URL), shard.Config{
+		Hedge: 20 * time.Millisecond,
+	})
+
+	serial, err := dsd.NewSolver(g).Solve(context.Background(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := coord.Solve(context.Background(), graphName(0), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density.Cmp(serial.Density) != 0 {
+		t.Fatalf("density with hedged straggler %v != serial %v", res.Density, serial.Density)
+	}
+	if res.Stats.ShardHedges == 0 {
+		t.Fatal("straggler produced no hedge")
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("query took %v: hedges did not rescue the stragglers", elapsed)
+	}
+}
+
+// TestShardedSubQueryCaps: Query.Shards caps the fan-out and
+// Query.ShardAddrs overrides the registered set, per query.
+func TestShardedSubQueryCaps(t *testing.T) {
+	g := gen.MultiCommunity(5, 16, 7, 10, 12, 1)
+	gs := []*graph.Graph{g}
+	w1 := newWorkerServer(t, gs)
+	w2 := newWorkerServer(t, gs)
+
+	local := service.NewRegistry()
+	registerAll(t, local, gs)
+	// The registered set points at a dead address; ShardAddrs overrides
+	// it wholesale, so the query must still execute remotely and clean.
+	coord := shard.NewCoordinator(local, shard.NewSet("http://127.0.0.1:1"), shard.Config{})
+
+	serial, err := dsd.NewSolver(g).Solve(context.Background(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Solve(context.Background(), graphName(0), dsd.Query{
+		H: 3, Shards: 2, ShardAddrs: []string{w1.URL, w2.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density.Cmp(serial.Density) != 0 {
+		t.Fatalf("density %v != serial %v", res.Density, serial.Density)
+	}
+	if res.Stats.ShardRemote == 0 {
+		t.Fatal("override addresses were not used")
+	}
+	if res.Stats.ShardFallbacks != 0 {
+		t.Fatal("override run still touched the dead registered set")
+	}
+}
+
+// TestShardedCancellation: a cancelled query must surface ctx.Err, never
+// a partially-merged answer.
+func TestShardedCancellation(t *testing.T) {
+	g := gen.MultiCommunity(5, 16, 7, 10, 12, 1)
+	gs := []*graph.Graph{g}
+	w := newWorkerServer(t, gs)
+
+	local := service.NewRegistry()
+	registerAll(t, local, gs)
+	coord := shard.NewCoordinator(local, shard.NewSet(w.URL), shard.Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := coord.Solve(ctx, graphName(0), dsd.Query{H: 3}); err == nil {
+		t.Fatal("cancelled coordinator query returned a result")
+	}
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	dsd "repro"
+	"repro/internal/gen"
+	"repro/internal/service/wire"
+)
+
+// testSource is a map-backed SolverSource.
+type testSource map[string]*dsd.Solver
+
+func (m testSource) SolverFor(name string) (*dsd.Solver, bool) {
+	s, ok := m[name]
+	return s, ok
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestWorkerComponentEndpoint drives the v3 worker handler end to end:
+// a component request for a whole small graph must return the graph's
+// densest subgraph with a certified density, and the floor plumbing must
+// respond to /v3/bound only while the search is in flight.
+func TestWorkerComponentEndpoint(t *testing.T) {
+	g := gen.GNM(40, 160, 7)
+	solver := dsd.NewSolver(g)
+	w := NewWorker(testSource{"g": solver})
+	mux := http.NewServeMux()
+	w.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// The whole graph as one "component" at core level 0 reproduces the
+	// component search over everything reachable.
+	plan, err := solver.PlanComponents(t.Context(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Components) == 0 {
+		t.Skip("no triangle component in this instance")
+	}
+	want, err := solver.Solve(t.Context(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts.URL+"/v3/component", wire.ComponentRequest{
+		Graph:     "g",
+		SearchID:  "t-1",
+		Query:     wire.Query{H: 3, Algo: "core-exact"},
+		Component: plan.Components[0],
+		KLocate:   plan.KLocate,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cr wire.ComponentResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Witness) == 0 {
+		t.Fatal("no witness returned for the densest component")
+	}
+	// With a zero floor the single component's best is the global best.
+	if cr.DensityNum != want.Density.Num || cr.DensityDen != want.Density.Den {
+		t.Fatalf("component density %d/%d, want %d/%d",
+			cr.DensityNum, cr.DensityDen, want.Density.Num, want.Density.Den)
+	}
+	if w.Searches() != 1 {
+		t.Fatalf("searches counter = %d", w.Searches())
+	}
+
+	// The search has finished: its floor must be unregistered.
+	bresp := postJSON(t, ts.URL+"/v3/bound", wire.BoundRequest{SearchID: "t-1", FloorNum: 1, FloorDen: 1})
+	defer bresp.Body.Close()
+	var br wire.BoundResponse
+	if err := json.NewDecoder(bresp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Active {
+		t.Fatal("finished search still reported active")
+	}
+	if w.Bounds() != 1 {
+		t.Fatalf("bounds counter = %d", w.Bounds())
+	}
+}
+
+// TestWorkerComponentErrors: malformed requests fail at the edge with
+// useful statuses.
+func TestWorkerComponentErrors(t *testing.T) {
+	g := gen.GNM(10, 20, 1)
+	w := NewWorker(testSource{"g": dsd.NewSolver(g)})
+	mux := http.NewServeMux()
+	w.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cases := []struct {
+		req    wire.ComponentRequest
+		status int
+	}{
+		{wire.ComponentRequest{Graph: "nope", Component: []int32{0, 1}}, http.StatusNotFound},
+		{wire.ComponentRequest{Graph: "g"}, http.StatusBadRequest},
+		{wire.ComponentRequest{Graph: "g", Component: []int32{0, 1}, Query: wire.Query{Algo: "bogus"}}, http.StatusBadRequest},
+		{wire.ComponentRequest{Graph: "g", Component: []int32{0, 1}, Query: wire.Query{Algo: "peel"}}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		resp := postJSON(t, ts.URL+"/v3/component", c.req)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Fatalf("case %d: status %d, want %d", i, resp.StatusCode, c.status)
+		}
+	}
+
+	bresp := postJSON(t, ts.URL+"/v3/bound", wire.BoundRequest{})
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty bound request: status %d", bresp.StatusCode)
+	}
+}

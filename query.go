@@ -93,6 +93,19 @@ type Query struct {
 	// Query.Workers, and its Iterative field yields to a non-zero
 	// Query.Iterative — the same resolution Config applies.
 	Core *CoreExactOptions
+	// Shards tunes distributed execution for core-exact queries answered
+	// by a sharding-enabled dsdd service: 0 fans the located core's
+	// components across every available shard worker, a positive value
+	// caps how many workers are used, and a negative value forces local
+	// execution even on a sharding-enabled service. The Solver itself
+	// always executes locally (the knob is honored by the service's
+	// coordinator); the returned density is identical for every value.
+	Shards int
+	// ShardAddrs overrides the set of shard worker base URLs (e.g.
+	// "http://10.0.0.2:8080") for this query; empty defers to the
+	// service's configured/registered workers. Only meaningful for
+	// core-exact. The returned density is identical for every set.
+	ShardAddrs []string
 	// Anchors are the query vertices of AlgoAnchored (Ψ must be edge).
 	Anchors []int32
 	// AtLeast is AlgoAtLeast's minimum answer size (≥ 1).
@@ -187,6 +200,14 @@ func (q Query) normalize() (Query, motif.Oracle, error) {
 	if len(q.Anchors) > 0 && q.Algo != AlgoAnchored {
 		return q, nil, fmt.Errorf("dsd: Anchors is only meaningful with Algo=%s (got %q)", AlgoAnchored, q.Algo)
 	}
+	if (q.Shards != 0 || len(q.ShardAddrs) > 0) && q.Algo != AlgoCoreExact {
+		return q, nil, fmt.Errorf("dsd: Shards/ShardAddrs are only meaningful with Algo=%s (got %q)", AlgoCoreExact, q.Algo)
+	}
+	if q.Shards < 0 {
+		// Every negative value means the same thing — force local — so
+		// canonicalize to one spelling.
+		q.Shards = -1
+	}
 	if q.AtLeast > 0 && q.Algo != AlgoAtLeast {
 		return q, nil, fmt.Errorf("dsd: AtLeast is only meaningful with Algo=%s (got %q)", AlgoAtLeast, q.Algo)
 	}
@@ -238,6 +259,17 @@ func (q Query) Key() string {
 		}
 		fmt.Fprintf(&b, "|workers=%d|iter=%d|p1=%t|p2=%t|p3=%t|grouped=%t",
 			workers, opts.Iterative, opts.Pruning1, opts.Pruning2, opts.Pruning3, opts.Grouped)
+		// The sharding knobs change where the components run, never the
+		// answer — but like Workers they change the observable stats, so
+		// spellings that request different executions never share a
+		// single-flight entry. Omitted when zero to keep pre-sharding keys
+		// stable.
+		if nq.Shards != 0 {
+			fmt.Fprintf(&b, "|shards=%d", nq.Shards)
+		}
+		if len(nq.ShardAddrs) > 0 {
+			fmt.Fprintf(&b, "|shardaddrs=%s", strings.Join(nq.ShardAddrs, ","))
+		}
 	case AlgoAnchored:
 		anchors := append([]int32(nil), nq.Anchors...)
 		sort.Slice(anchors, func(i, j int) bool { return anchors[i] < anchors[j] })
