@@ -3,10 +3,10 @@
 # before pushing and the gates cannot surprise you.
 
 GO ?= go
-BENCH_OUT ?= BENCH_5.json
-BENCH_PREV ?= BENCH_4.json
+BENCH_OUT ?= BENCH_6.json
+BENCH_PREV ?= BENCH_5.json
 
-.PHONY: check fmt vet build test race bench bench-compare api e2e-shard clean
+.PHONY: check fmt vet build test race bench bench-compare api e2e-shard obs clean
 
 check: fmt vet build race
 
@@ -41,6 +41,15 @@ bench:
 # Diff the fresh artifact against the previous trajectory point.
 bench-compare: bench
 	$(GO) run ./cmd/dsdbench -compare $(BENCH_PREV) $(BENCH_OUT)
+
+# The observability smoke: the tracing/metrics/logging tests across the
+# obs core, the engine, the shards, and the CLIs, under -race, plus a
+# traced perf-suite dump to prove the trace artifact still encodes.
+obs:
+	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -race -count=1 -run 'TestMetrics|TestQueryTrace|TestSlowQuery|TestStatsAwait|TestStitchedTrace|TestObservabilityFlags' \
+		./internal/service ./internal/shard ./cmd/dsdd
+	$(GO) run ./cmd/dsdbench -run perfsuite -quick -div 8 -trace-out /tmp/dsd-trace-smoke.json
 
 # Refresh the exported-API baseline (api/dsd.txt) after an intentional
 # public-surface change. TestAPIStability fails any PR whose surface

@@ -7,7 +7,7 @@
 //
 //	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-workers 4]
 //	    [-iterative 16] [-anchors 1,2] [-at-least 5] [-eps 0.25]
-//	    [-print] [-json]
+//	    [-print] [-json] [-log-level info] [-log-format text]
 //
 // The motif is any paper pattern name ("edge", "triangle", "4-clique",
 // "2-star", "c3-star", "diamond", "2-triangle", "3-triangle", "basket").
@@ -31,11 +31,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"log"
 	"os"
 	"strings"
 
 	dsd "repro"
+	"repro/internal/obs"
 	"repro/internal/qflag"
 	"repro/internal/service/client"
 	"repro/internal/service/wire"
@@ -43,10 +43,9 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dsd: ")
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "dsd: error: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -56,6 +55,8 @@ func run(args []string, out io.Writer) error {
 		graphPath  = fs.String("graph", "", "edge-list file (required)")
 		printVerts = fs.Bool("print", false, "print the vertex set of the answer")
 		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd v2 API encoding")
+		logLevel   = fs.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+		logFormat  = fs.String("log-format", "text", "log encoding (text|json)")
 	)
 	b := qflag.New()
 	b.Motif(fs, "motif", "edge")
@@ -70,6 +71,14 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := obs.NewLogger(os.Stderr, obs.LogOptions{
+		Level:  *logLevel,
+		Format: *logFormat,
+		Prefix: "dsd: ",
+	})
+	if err != nil {
+		return err
+	}
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -graph")
@@ -82,6 +91,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	logger.Debug("loaded graph", "path", *graphPath, "n", g.N(), "m", g.M())
 	var res *dsd.Result
 	if len(q.ShardAddrs) > 0 && q.Shards >= 0 {
 		// Shards < 0 is the documented force-local opt-out; it wins even

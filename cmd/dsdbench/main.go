@@ -8,8 +8,10 @@
 //	dsdbench -run fig8exact
 //	dsdbench -run all [-div 4] [-maxh 4] [-quick]
 //	dsdbench -run perfsuite -quick -json [-out BENCH_3.json] [-workers 4] [-iterative 16]
+//	dsdbench -run perfsuite -quick -trace-out TRACE.json
 //	dsdbench -validate BENCH_3.json
 //	dsdbench -compare BENCH_2.json BENCH_3.json
+//	dsdbench -validate-metrics metrics.txt
 //
 // With -json (perfsuite only) the suite is emitted as a dsd-bench/v1
 // JSON report instead of a table; -validate checks an existing report
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/obs"
 	"repro/internal/qflag"
 )
 
@@ -42,16 +45,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
 	var (
-		runID    = fs.String("run", "", "experiment id, or \"all\"")
-		list     = fs.Bool("list", false, "list experiments")
-		div      = fs.Int("div", 1, "extra dataset downscale divisor")
-		maxh     = fs.Int("maxh", 6, "largest clique size to sweep")
-		quick    = fs.Bool("quick", false, "smoke-test sizes")
-		ibudget  = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
-		asJSON   = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
-		outPath  = fs.String("out", "", "write the -json report to this file instead of stdout")
-		validate = fs.String("validate", "", "validate a BENCH_*.json report and exit")
-		compare  = fs.Bool("compare", false, "diff two BENCH_*.json reports (args: OLD NEW) and exit")
+		runID      = fs.String("run", "", "experiment id, or \"all\"")
+		list       = fs.Bool("list", false, "list experiments")
+		div        = fs.Int("div", 1, "extra dataset downscale divisor")
+		maxh       = fs.Int("maxh", 6, "largest clique size to sweep")
+		quick      = fs.Bool("quick", false, "smoke-test sizes")
+		ibudget    = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
+		asJSON     = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
+		outPath    = fs.String("out", "", "write the -json report to this file instead of stdout")
+		validate   = fs.String("validate", "", "validate a BENCH_*.json report and exit")
+		compare    = fs.Bool("compare", false, "diff two BENCH_*.json reports (args: OLD NEW) and exit")
+		traceOut   = fs.String("trace-out", "", "run the perf suite's core-exact cases under a live tracer and dump the per-case phase breakdowns as JSON to this file (perfsuite only)")
+		valMetrics = fs.String("validate-metrics", "", "validate a Prometheus text exposition file (e.g. a /metrics scrape) and exit")
 	)
 	// The suite's arm knobs go through the shared Query builder so their
 	// semantics (-1 = GOMAXPROCS workers) match the other CLIs.
@@ -70,6 +75,18 @@ func run(args []string, out io.Writer) error {
 		// serial arm already measures the pre-solver disabled, so a
 		// negative budget can only be a misread of the flag.
 		return fmt.Errorf("-iterative wants a positive budget (the serial arm already measures the pre-solver off)")
+	}
+
+	if *valMetrics != "" {
+		data, err := os.ReadFile(*valMetrics)
+		if err != nil {
+			return err
+		}
+		if err := obs.ValidateExposition(data); err != nil {
+			return fmt.Errorf("%s: %w", *valMetrics, err)
+		}
+		fmt.Fprintf(out, "%s: valid Prometheus text exposition\n", *valMetrics)
+		return nil
 	}
 
 	if *validate != "" {
@@ -123,6 +140,31 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.Workers = q.Workers
 	cfg.Iterative = q.Iterative
+
+	if *traceOut != "" {
+		if *runID != "perfsuite" {
+			return fmt.Errorf("-trace-out is only supported with -run perfsuite (got %q)", *runID)
+		}
+		rep, err := expt.TraceSuiteReport(cfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := expt.WriteTraceReport(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d traced cases)\n", *traceOut, len(rep.Cases))
+		if *runID == "perfsuite" && !*asJSON {
+			return nil
+		}
+	}
 
 	if *asJSON {
 		if *runID != "perfsuite" {

@@ -76,6 +76,59 @@ func TestRunCompare(t *testing.T) {
 	}
 }
 
+// TestRunValidateMetrics: -validate-metrics accepts a well-formed
+// Prometheus text exposition and rejects a malformed one.
+func TestRunValidateMetrics(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	goodText := "# HELP dsd_queries_total Queries served.\n# TYPE dsd_queries_total counter\ndsd_queries_total{algo=\"core-exact\"} 3\n"
+	if err := os.WriteFile(good, []byte(goodText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-validate-metrics", good}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "valid Prometheus") {
+		t.Fatalf("output: %q", out.String())
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("dsd_queries_total{oops 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate-metrics", bad}, &out); err == nil {
+		t.Fatal("malformed exposition accepted")
+	}
+}
+
+// TestRunTraceOut: -trace-out with the perf suite dumps a dsd-trace/v1
+// report whose cases carry phase breakdowns and span trees.
+func TestRunTraceOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping traced suite run in -short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "perfsuite", "-quick", "-div", "8", "-trace-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{`"schema": "dsd-trace/v1"`, `"total_ms"`, `"flow_ms"`, `"trace"`, `"spans"`, `"name": "component"`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("trace dump missing %q", want)
+		}
+	}
+	// -trace-out outside the perf suite is a flag error.
+	if err := run([]string{"-run", "fig12", "-trace-out", path}, &out); err == nil {
+		t.Fatal("-trace-out accepted outside perfsuite")
+	}
+}
+
 // TestRunValidateIterativeGate: a report whose iterative arm spends more
 // flow solves than the seed engine must fail -validate — the CI gate the
 // BENCH_3 artifact answers to.

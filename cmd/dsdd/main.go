@@ -10,11 +10,21 @@
 //	     [-shards http://w1:8080,http://w2:8080] [-shard-hedge 3s]
 //	     [-shard-timeout 0] [-shard-of http://coordinator:8080]
 //	     [-advertise http://host:port]
+//	     [-log-level info] [-log-format text] [-slow-query 0]
+//	     [-trace=true] [-pprof]
 //
 // API: POST /v2/query (any dsd.Query), POST /v1/query (legacy triple),
-// GET/POST /v1/graphs, GET /v1/stats, GET /healthz, plus the wire v3
-// sharding protocol (POST /v3/component, POST /v3/bound,
-// GET/POST /v3/shards).
+// GET/POST /v1/graphs, GET /v1/stats, GET /metrics (Prometheus text
+// exposition), GET /healthz, plus the wire v3 sharding protocol
+// (POST /v3/component, POST /v3/bound, GET/POST /v3/shards).
+//
+// Observability: every computed query runs under a phase-level trace
+// that returns in the response's stats (disable with -trace=false);
+// -slow-query DURATION logs any computation at or over the threshold
+// with its full phase breakdown; -pprof mounts net/http/pprof under
+// /debug/pprof/. Logs go to stderr through log/slog — -log-level picks
+// the floor (debug|info|warn|error) and -log-format text|json the
+// encoding (text keeps the historical human-readable lines).
 //
 // Distributed sharding: `-shards` seeds the coordinator's worker set
 // (workers may also self-register via POST /v3/shards); while the set is
@@ -27,6 +37,7 @@
 //
 //	curl -s localhost:8080/v2/query -d '{"graph":"web","query":{"pattern":"triangle","algo":"core-exact"}}'
 //	curl -s localhost:8080/v1/query -d '{"graph":"web","pattern":"triangle","algo":"core-exact"}'
+//	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/v3/shards
 package main
 
@@ -35,23 +46,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/qflag"
 	"repro/internal/service"
 	"repro/internal/shard"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dsdd: ")
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "dsdd: error: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -87,7 +98,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "dsdd: listening on http://%s (advertised as %s, %d graphs, %d workers)\n",
 		ln.Addr(), advertise, srv.Engine().Stats().Graphs, srv.Engine().Workers())
 	if opts.shardOf != "" {
-		go registerWithCoordinator(opts.shardOf, advertise, out)
+		go registerWithCoordinator(opts.shardOf, advertise, opts.log)
 	}
 	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	return hs.Serve(ln)
@@ -111,19 +122,19 @@ func advertiseURL(addr net.Addr) string {
 // registerWithCoordinator announces this worker to the coordinator,
 // retrying while the coordinator comes up; registration is idempotent so
 // retries are safe.
-func registerWithCoordinator(coord, advertise string, out io.Writer) {
+func registerWithCoordinator(coord, advertise string, logger *slog.Logger) {
 	client := shard.NewClient(nil)
 	for attempt := 0; attempt < 30; attempt++ {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		err := client.Register(ctx, coord, advertise)
 		cancel()
 		if err == nil {
-			fmt.Fprintf(out, "dsdd: registered %s as a shard of %s\n", advertise, coord)
+			logger.Info("registered as shard worker", "advertise", advertise, "coordinator", coord)
 			return
 		}
 		time.Sleep(500 * time.Millisecond)
 	}
-	fmt.Fprintf(out, "dsdd: giving up registering with coordinator %s\n", coord)
+	logger.Error("giving up registering with coordinator", "coordinator", coord)
 }
 
 // serverOpts carries the flag values run needs after newServer returns.
@@ -131,6 +142,7 @@ type serverOpts struct {
 	addr      string
 	shardOf   string
 	advertise string
+	log       *slog.Logger
 }
 
 // newServer parses args, preloads graphs, and builds the HTTP server.
@@ -149,6 +161,11 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 		shardTimeout = fs.Duration("shard-timeout", 0, "per-component remote attempt timeout (0 = query budget only)")
 		shardOf      = fs.String("shard-of", "", "coordinator base URL to register this server with as a shard worker")
 		advertise    = fs.String("advertise", "", "base URL to advertise to the coordinator (default: the resolved listen address)")
+		logLevel     = fs.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+		logFormat    = fs.String("log-format", "text", "log encoding (text|json)")
+		slowQuery    = fs.Duration("slow-query", 0, "log any computation taking at least this long, with its phase breakdown (0 = off)")
+		trace        = fs.Bool("trace", true, "attach a phase-level trace to every computed query's stats")
+		pprofFlag    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		graphs       graphSpecs
 	)
 	b := qflag.New()
@@ -156,6 +173,14 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 	b.Iterative(fs, "algo-iterative", "default Greed++ pre-solve iterations inside each core-exact query (0 = engine default, -1 = off)")
 	fs.Var(&graphs, "graph", "preload a graph as name=edge-list-path (repeatable)")
 	if err := fs.Parse(args); err != nil {
+		return nil, serverOpts{}, err
+	}
+	logger, err := obs.NewLogger(os.Stderr, obs.LogOptions{
+		Level:  *logLevel,
+		Format: *logFormat,
+		Prefix: "dsdd: ",
+	})
+	if err != nil {
 		return nil, serverOpts{}, err
 	}
 	q, err := b.Query()
@@ -174,6 +199,7 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 		if _, err := reg.RegisterFile(name, path); err != nil {
 			return nil, serverOpts{}, err
 		}
+		logger.Debug("preloaded graph", "name", name, "path", path)
 	}
 	srv := service.NewServer(reg, service.Config{
 		Workers:       *workers,
@@ -183,9 +209,15 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 		ShardAddrs:    shardAddrs,
 		ShardHedge:    *shardHedge,
 		ShardTimeout:  *shardTimeout,
+		Logger:        logger,
+		SlowQuery:     *slowQuery,
+		NoTrace:       !*trace,
 	})
 	if *allowPaths {
 		srv.AllowPathRegistration()
 	}
-	return srv, serverOpts{addr: *addr, shardOf: *shardOf, advertise: *advertise}, nil
+	if *pprofFlag {
+		srv.EnablePprof()
+	}
+	return srv, serverOpts{addr: *addr, shardOf: *shardOf, advertise: *advertise, log: logger}, nil
 }

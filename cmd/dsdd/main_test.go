@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/service/client"
 	"repro/internal/service/wire"
 )
@@ -102,6 +105,64 @@ func TestNewServerAlgoIterative(t *testing.T) {
 	}
 	if resp.Result.PreSolveIters != 0 {
 		t.Fatalf("pre-solver ran (%d iterations) despite -algo-iterative -1", resp.Result.PreSolveIters)
+	}
+}
+
+// TestObservabilityFlags: /metrics is always on and valid; /debug/pprof/
+// is mounted only behind -pprof; bad -log-level/-log-format are flag
+// errors, not silent defaults.
+func TestObservabilityFlags(t *testing.T) {
+	path := writeTempGraph(t)
+	srv, _, err := newServer([]string{"-pprof", "-graph", "bowtie=" + path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v", err)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("-pprof server: GET /debug/pprof/ status = %d", resp.StatusCode)
+	}
+
+	// Without -pprof the profiling surface must not exist.
+	plain, _, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(plain)
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("default server: GET /debug/pprof/ status = %d, want 404", resp.StatusCode)
+	}
+
+	if _, _, err := newServer([]string{"-log-level", "bogus"}); err == nil {
+		t.Fatal("bad -log-level accepted")
+	}
+	if _, _, err := newServer([]string{"-log-format", "bogus"}); err == nil {
+		t.Fatal("bad -log-format accepted")
 	}
 }
 

@@ -2,9 +2,9 @@ package main
 
 import (
 	"context"
+	"log/slog"
 	"net"
 	"net/http"
-	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -116,6 +116,30 @@ func TestShardedE2E(t *testing.T) {
 		t.Fatalf("shard list: %+v", infos)
 	}
 
+	// /v1/stats carries per-worker dispatch health: both workers were
+	// dispatched to, their remote counts sum to the query's, and nothing
+	// failed or hedged on the healthy run.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.ShardWorkers) != 2 {
+		t.Fatalf("stats.ShardWorkers = %+v, want 2 entries", stats.ShardWorkers)
+	}
+	var remoteSum int64
+	for _, ws := range stats.ShardWorkers {
+		remoteSum += ws.Remote
+		if ws.Failures != 0 || ws.Hedges != 0 {
+			t.Fatalf("healthy run recorded failures/hedges: %+v", ws)
+		}
+		if ws.Remote > 0 && ws.LatencyEWMAMs <= 0 {
+			t.Fatalf("worker %s answered remotely but has no latency EWMA: %+v", ws.Addr, ws)
+		}
+	}
+	if remoteSum != int64(resp.Stats.ShardRemote) {
+		t.Fatalf("per-worker remote sum %d != query's ShardRemote %d", remoteSum, resp.Stats.ShardRemote)
+	}
+
 	// Kill worker 1. A new, uncached query (h=2) must be survived by the
 	// remaining worker plus local fallback, with the exact density.
 	killW1()
@@ -168,7 +192,7 @@ func TestShardSelfRegistration(t *testing.T) {
 	// the same way and call the registration helper with its resolved
 	// address, as run does after net.Listen.
 	workerURL, _ := launchDSDD(t, "-addr", "127.0.0.1:0", "-graph", graphArg)
-	registerWithCoordinator(coordURL, workerURL, os.Stderr)
+	registerWithCoordinator(coordURL, workerURL, slog.New(slog.DiscardHandler))
 
 	c := client.New(coordURL, nil)
 	ctx := context.Background()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rational"
 )
 
@@ -63,7 +64,12 @@ func (s *Solver) PlanComponents(ctx context.Context, q Query) (*ComponentPlan, e
 		workers = 1
 	}
 	decStart := time.Now()
+	dsp := obs.StartFromContext(ctx, obs.SpanDecompose)
 	dec, reused, err := st.decomposition(ctx, s.g, workers)
+	if reused {
+		dsp.SetAttr("reused", "true")
+	}
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -126,8 +132,11 @@ type ComponentResult struct {
 	FlowSolves      int
 	PreSolveIters   int
 	PreSolveSkipped bool
-	// Elapsed is the search's wall-clock time.
-	Elapsed time.Duration
+	// Elapsed is the search's wall-clock time; FlowTime and PreSolveTime
+	// its flow-solve and Greed++ pre-solve shares (see QueryStats).
+	Elapsed      time.Duration
+	FlowTime     time.Duration
+	PreSolveTime time.Duration
 }
 
 // SolveComponent runs one per-component CoreExact binary search (with
@@ -174,6 +183,8 @@ func (s *Solver) SolveComponent(ctx context.Context, q Query, comp []int32, kLoc
 		PreSolveIters:   out.PreSolveIters,
 		PreSolveSkipped: out.PreSolveSkip,
 		Elapsed:         time.Since(start),
+		FlowTime:        out.FlowTime,
+		PreSolveTime:    out.PreSolveTime,
 	}, nil
 }
 

@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/motif"
@@ -34,6 +35,10 @@ type ComponentOutcome struct {
 	// the search concluded without building a single flow network.
 	PreSolveIters int
 	PreSolveSkip  bool
+	// FlowTime / PreSolveTime attribute the search's wall time to flow
+	// solves and Greed++ pre-solve runs (see Stats.FlowTime).
+	FlowTime     time.Duration
+	PreSolveTime time.Duration
 }
 
 // SearchComponent runs the per-component binary search of Algorithm 4
@@ -66,6 +71,8 @@ func SearchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		FlowNodes:     cs.flowNodes,
 		PreSolveIters: cs.preIters,
 		PreSolveSkip:  cs.preSkip,
+		FlowTime:      cs.flowNS,
+		PreSolveTime:  cs.preNS,
 	}, nil
 }
 

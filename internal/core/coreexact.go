@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/iterative"
 	"repro/internal/motif"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/psicore"
 	"repro/internal/rational"
@@ -179,8 +180,10 @@ func PlanCoreExact(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Opt
 	// clique-degree seeding striped across workers when parallel — unless
 	// the caller already holds one, in which case the whole step is free.
 	if dec == nil {
+		dsp := obs.StartFromContext(ctx, obs.SpanDecompose)
 		var err error
 		dec, err = psicore.DecomposeContext(ctx, g, o, workers)
+		dsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -195,6 +198,8 @@ func PlanCoreExact(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Opt
 		return &Plan{Dec: dec, Stats: stats}, nil
 	}
 	p := int64(o.Size())
+	lsp := obs.StartFromContext(ctx, obs.SpanLocate)
+	defer lsp.End()
 
 	// Step 2: locate the CDS in a core and establish the witness/lower
 	// bound l (lines 2-4).
@@ -276,6 +281,8 @@ func PlanCoreExact(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Opt
 			components = filtered
 		}
 	}
+	lsp.SetInt("components", int64(len(components)))
+	lsp.SetInt("k_locate", kLocate)
 	return &Plan{
 		Dec:        dec,
 		Components: components,
@@ -332,6 +339,8 @@ func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, o
 		if cs.preSkip {
 			stats.PreSolveSkips++
 		}
+		stats.FlowTime += cs.flowNS
+		stats.PreSolveTime += cs.preNS
 	}
 
 	_, witness := cell.snapshot()
@@ -348,6 +357,10 @@ type compStats struct {
 	iterations int
 	preIters   int
 	preSkip    bool // search concluded without building a flow network
+	// flowNS / preNS attribute the component's wall time to flow solves
+	// and Greed++ pre-solve runs (Stats.FlowTime / Stats.PreSolveTime).
+	flowNS time.Duration
+	preNS  time.Duration
 }
 
 // searchComponent runs the shrinking-flow binary search of Algorithm 4
@@ -366,10 +379,26 @@ type compStats struct {
 // comparison is exact — rational vs. dyadic float via R.CmpFloat — never
 // a rounded float compare.
 func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition,
-	opts Options, cell BoundSource, comp []int32, kLocate int64, globalStop float64, p int64) (compStats, error) {
-	var cs compStats
+	opts Options, cell BoundSource, comp []int32, kLocate int64, globalStop float64, p int64) (cs compStats, err error) {
 	if err := ctx.Err(); err != nil {
 		return cs, err
+	}
+	// Trace scope: one span per component search, presolve/flow children
+	// under it. tr is nil on untraced runs, making every span call below
+	// a no-op — the hot loop stays allocation-free with tracing off.
+	tr, parent := obs.FromContext(ctx)
+	sp := tr.Start(obs.SpanComponent, parent)
+	if sp != nil {
+		ctx = obs.WithSpan(ctx, tr, sp)
+		sp.SetInt("size", int64(len(comp)))
+		defer func() {
+			sp.SetInt("flow_solves", int64(cs.iterations))
+			sp.SetInt("presolve_iters", int64(cs.preIters))
+			if cs.preSkip {
+				sp.SetAttr("presolve_skip", "true")
+			}
+			sp.End()
+		}()
 	}
 	lower := cell.Bound()
 	cur := comp
@@ -427,7 +456,9 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		// ceiling, and tiny components whose bound gap stalls stop after a
 		// chunk or two — the bounds stay conservative certificates either
 		// way, so the density is identical for every stopping point.
+		pt := time.Now()
 		ran, err := solver.RunAdaptive(ctx, opts.Iterative)
+		cs.preNS += time.Since(pt)
 		cs.preIters += ran
 		if err != nil {
 			return cs, err
@@ -460,7 +491,9 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 			}
 			var err error
 			var ran int
+			pt := time.Now()
 			sub, solver, ran, err = shrinkSolver(ctx, g, o, sub, solver, cur, refreshBudget(opts))
+			cs.preNS += time.Since(pt)
 			cs.preIters += ran
 			if err != nil {
 				return cs, err
@@ -498,10 +531,16 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 
 	// Feasibility probe at α = l (lines 7-9): skip the component if
 	// nothing in it beats the current witness.
+	ft := time.Now()
+	fsp := tr.Start(obs.SpanFlow, sp)
 	net := sd.Build(lower.Float())
 	cs.flowNodes = append(cs.flowNodes, sd.Nodes())
 	cs.iterations++
 	vs := net.SolveVertices()
+	fsp.SetInt("nodes", int64(sd.Nodes()))
+	fsp.SetFloat("alpha", lower.Float())
+	fsp.End()
+	cs.flowNS += time.Since(ft)
 	if len(vs) == 0 {
 		return cs, nil
 	}
@@ -528,10 +567,16 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 			break
 		}
 		alpha := (lc + uc) / 2
+		ft := time.Now()
+		fsp := tr.Start(obs.SpanFlow, sp)
 		net = sd.Build(alpha)
 		cs.flowNodes = append(cs.flowNodes, sd.Nodes())
 		cs.iterations++
 		vs = net.SolveVertices()
+		fsp.SetInt("nodes", int64(sd.Nodes()))
+		fsp.SetFloat("alpha", alpha)
+		fsp.End()
+		cs.flowNS += time.Since(ft)
 		if len(vs) == 0 {
 			uc = alpha
 			continue
@@ -558,7 +603,9 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 				if solver != nil {
 					var err error
 					var ran int
+					pt := time.Now()
 					sub, solver, ran, err = shrinkSolver(ctx, g, o, sub, solver, cur, refreshBudget(opts))
+					cs.preNS += time.Since(pt)
 					cs.preIters += ran
 					if err != nil {
 						return cs, err

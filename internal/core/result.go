@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/obs"
 	"repro/internal/rational"
 )
 
@@ -61,6 +62,16 @@ type Stats struct {
 	ShardRemote     int
 	ShardFallbacks  int
 	ShardHedges     int
+	// FlowTime is the wall time summed over every flow-network build plus
+	// min-cut solve; PreSolveTime over every Greed++ pre-solve run,
+	// including post-shrink refreshes. On parallel runs the phases overlap
+	// across workers, so the sums can exceed Total — they are CPU-style
+	// attribution ("where the work went"), the paper's flow-vs-peel split.
+	FlowTime     time.Duration
+	PreSolveTime time.Duration
+	// Trace is the phase-level span tree of the run, non-nil only when
+	// the caller's context carried an obs.Tracer (see obs.WithSpan).
+	Trace *obs.Trace
 }
 
 // evaluate builds the Result for the subgraph of g induced by vs.

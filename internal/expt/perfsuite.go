@@ -15,6 +15,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/obs"
 	"repro/internal/psicore"
 )
 
@@ -39,6 +40,11 @@ type BenchReport struct {
 	// the Greed++ pre-solver leaves the suite with, the headline the
 	// BENCH_3 trajectory point measures.
 	FlowSolveReduction float64 `json:"flow_solve_reduction,omitempty"`
+	// ObsOverhead is Σ obs_ns_op / Σ iterative_ns_op over the cases with
+	// an obs arm: the wall-clock cost of running the engine under a live
+	// phase tracer relative to the identical untraced configuration. CI
+	// gates it at ≤ 1.03 (tracing must stay under 3%).
+	ObsOverhead float64 `json:"obs_overhead,omitempty"`
 }
 
 // BenchCase measures one (algorithm, motif, graph) cell.
@@ -89,6 +95,12 @@ type BenchCase struct {
 	// coordinator fanning the located core's components across N loopback
 	// worker dsdd servers (internal/shard). One entry per shard count.
 	Sharded []ShardArm `json:"sharded,omitempty"`
+	// The obs arm: the iterative configuration re-run under a live
+	// obs.Tracer, so every phase span is recorded. ObsNsOp against
+	// IterativeNsOp is the tracing overhead the suite gates; ObsMatch that
+	// the traced run returned exactly the serial density.
+	ObsNsOp  int64 `json:"obs_ns_op,omitempty"`
+	ObsMatch *bool `json:"obs_match,omitempty"`
 	// Density is the result density (omitted for decomposition cases).
 	Density float64 `json:"density,omitempty"`
 	// DensityMatch reports that the parallel arm returned exactly the
@@ -208,8 +220,17 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 		iopts := core.DefaultOptions()
 		iopts.Iterative = iterBudget
 		iter := bestOf(reps, func() { iterRes = core.CoreExactOpts(g, h, iopts) })
+		// The obs arm: the exact same engine configuration as the
+		// iterative arm, with a live tracer on the context so every phase
+		// span is actually recorded — what a dsdd query pays by default.
+		var obsRes *core.Result
+		obsNs := bestOf(reps, func() {
+			octx := obs.WithSpan(context.Background(), obs.New(), nil)
+			obsRes, _ = core.CoreExactCtx(octx, g, h, iopts)
+		})
 		match := serialRes.Density.Cmp(parRes.Density) == 0
 		iterMatch := serialRes.Density.Cmp(iterRes.Density) == 0
+		obsMatch := obsRes != nil && serialRes.Density.Cmp(obsRes.Density) == 0
 
 		// Warm-solver arm: the same Ψ through one dsd.Solver, default
 		// engine configuration (pre-solver on).
@@ -237,6 +258,8 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 			PreSolveIters:       iterRes.Stats.PreSolveIters,
 			PreSolveSkips:       iterRes.Stats.PreSolveSkips,
 			IterativeSpeedup:    float64(serial) / float64(iter),
+			ObsNsOp:             obsNs,
+			ObsMatch:            &obsMatch,
 			ColdNsOp:            cold,
 			WarmNsOp:            warm,
 			WarmSpeedup:         float64(cold) / float64(warm),
@@ -349,10 +372,15 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 	// across the suite (the divisor is clamped to 1 so a fully flow-free
 	// run stays encodable).
 	var seedSolves, iterSolves int
+	var obsNs, untracedNs int64
 	for _, c := range rep.Cases {
 		if c.IterativeNsOp > 0 {
 			seedSolves += c.SerialIters
 			iterSolves += c.IterativeFlowSolves
+		}
+		if c.ObsNsOp > 0 && c.IterativeNsOp > 0 {
+			obsNs += c.ObsNsOp
+			untracedNs += c.IterativeNsOp
 		}
 	}
 	if seedSolves > 0 {
@@ -361,6 +389,12 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 			div = 1
 		}
 		rep.FlowSolveReduction = float64(seedSolves) / float64(div)
+	}
+	// Tracing overhead is aggregated across the suite (sums weight the
+	// heavy cases) rather than gated per case, where scheduler noise on a
+	// small graph could dwarf the real span cost.
+	if untracedNs > 0 {
+		rep.ObsOverhead = float64(obsNs) / float64(untracedNs)
 	}
 	return rep, nil
 }
@@ -409,6 +443,9 @@ func RunPerfSuite(cfg Config) error {
 	}
 	if rep.FlowSolveReduction > 0 {
 		fmt.Fprintf(cfg.Out, "flow-solve reduction: %.2fx\n", rep.FlowSolveReduction)
+	}
+	if rep.ObsOverhead > 0 {
+		fmt.Fprintf(cfg.Out, "tracing overhead: %+.2f%%\n", 100*(rep.ObsOverhead-1))
 	}
 	return nil
 }
@@ -486,6 +523,15 @@ func ValidateBenchReport(data []byte) error {
 					c.Name, c.IterativeFlowSolves, c.SerialIters)
 			}
 		}
+		if c.ObsNsOp > 0 {
+			// Tracing must never change the answer.
+			if c.ObsMatch == nil {
+				return fmt.Errorf("bench report: case %q: obs arm without obs_match", c.Name)
+			}
+			if !*c.ObsMatch {
+				return fmt.Errorf("bench report: case %q: traced density does not match serial", c.Name)
+			}
+		}
 		for _, a := range c.Sharded {
 			if a.Shards <= 0 {
 				return fmt.Errorf("bench report: case %q: sharded arm without shard count", c.Name)
@@ -524,6 +570,11 @@ func ValidateBenchReport(data []byte) error {
 					c.Name, c.WarmNsOp, c.ColdNsOp)
 			}
 		}
+	}
+	// The tracing-overhead gate: across the suite, running under a live
+	// tracer may cost at most 3% over the identical untraced engine.
+	if rep.ObsOverhead > 1.03 {
+		return fmt.Errorf("bench report: obs overhead %.4f, want ≤ 1.03 (tracing must stay under 3%%)", rep.ObsOverhead)
 	}
 	return nil
 }

@@ -1,0 +1,110 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"time"
+
+	dsd "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/obs"
+)
+
+// TraceSchema identifies the trace-dump encoding emitted by
+// `dsdbench -run perfsuite -trace-out FILE`.
+const TraceSchema = "dsd-trace/v1"
+
+// TraceReport is the JSON artifact of the trace suite: the perf suite's
+// core-exact cases, each run once under a live obs.Tracer, with the
+// phase breakdown and the full span tree. It answers "where does the
+// time go" for the engine the way BENCH_*.json answers "how fast is it".
+type TraceReport struct {
+	Schema string      `json:"schema"`
+	Quick  bool        `json:"quick"`
+	Cases  []TraceCase `json:"cases"`
+}
+
+// TraceCase is one traced solve.
+type TraceCase struct {
+	Name  string `json:"name"`
+	Algo  string `json:"algo"`
+	Motif string `json:"motif"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	// The phase breakdown from QueryStats: total wall clock, the
+	// decomposition share, and the Greed++ pre-solve / flow-solve
+	// attribution (CPU-style sums; they can overlap on parallel runs).
+	TotalMs       float64 `json:"total_ms"`
+	DecomposeMs   float64 `json:"decompose_ms"`
+	PreSolveMs    float64 `json:"pre_solve_ms"`
+	FlowMs        float64 `json:"flow_ms"`
+	FlowSolves    int     `json:"flow_solves"`
+	PreSolveIters int     `json:"pre_solve_iters"`
+	PreSolveSkips int     `json:"pre_solve_skips"`
+	// Components is the number of per-component search spans recorded.
+	Components int     `json:"components"`
+	Density    float64 `json:"density"`
+	// Trace is the full span tree of the run.
+	Trace *obs.Trace `json:"trace"`
+}
+
+// TraceSuiteReport runs the perf suite's core-exact cases once each
+// under a live tracer and returns the trace dump.
+func TraceSuiteReport(cfg Config) (*TraceReport, error) {
+	multi := gen.MultiCommunity(10, 30, 12, 18, 20, 1)
+	if cfg.Quick {
+		multi = gen.MultiCommunity(8, 25, 10, 15, 18, 1)
+	}
+	cl := gen.ChungLu(3000/cfg.Div, 15000/cfg.Div, 2.5, 9)
+
+	rep := &TraceReport{Schema: TraceSchema, Quick: cfg.Quick}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		h    int
+	}{
+		{"coreexact-multicommunity", multi, 3},
+		{"coreexact-chunglu-edge", cl, 2},
+		{"coreexact-chunglu-triangle", cl, 3},
+	}
+	for _, c := range cases {
+		q := dsd.Query{H: c.h}
+		if cfg.Iterative > 0 {
+			q.Iterative = cfg.Iterative
+		}
+		ctx := obs.WithSpan(context.Background(), obs.New(), nil)
+		res, err := dsd.NewSolver(c.g).Solve(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		rep.Cases = append(rep.Cases, TraceCase{
+			Name:          c.name,
+			Algo:          string(dsd.AlgoCoreExact),
+			Motif:         motif.Clique{H: c.h}.Name(),
+			N:             c.g.N(),
+			M:             c.g.M(),
+			TotalMs:       ms(res.Stats.Total),
+			DecomposeMs:   ms(res.Stats.Decompose),
+			PreSolveMs:    ms(res.Stats.PreSolveTime),
+			FlowMs:        ms(res.Stats.FlowTime),
+			FlowSolves:    res.Stats.Iterations,
+			PreSolveIters: res.Stats.PreSolveIters,
+			PreSolveSkips: res.Stats.PreSolveSkips,
+			Components:    len(res.Stats.Trace.Named(obs.SpanComponent)),
+			Density:       res.Density.Float(),
+			Trace:         res.Stats.Trace,
+		})
+	}
+	return rep, nil
+}
+
+// WriteTraceReport encodes rep as indented JSON.
+func WriteTraceReport(w io.Writer, rep *TraceReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/bucketq"
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/obs"
 	"repro/internal/rational"
 )
 
@@ -191,6 +192,12 @@ func (s *Solver) RunAdaptive(ctx context.Context, budget int) (int, error) {
 	}
 	chunk := s.adaptiveChunk()
 	run := 0
+	if sp := obs.StartFromContext(ctx, obs.SpanPreSolve); sp != nil {
+		defer func() {
+			sp.SetInt("iterations", int64(run))
+			sp.End()
+		}()
+	}
 	gap := s.gap()
 	for run < budget {
 		step := chunk

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// labelBlockRE matches a complete `{k="v",...}` label block with escaped
+// values, as produced by WritePrometheus and required by the text
+// exposition format.
+var labelBlockRE = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$`)
+
+// ValidateExposition checks that data is plausible Prometheus text
+// exposition format (version 0.0.4): every sample belongs to a family
+// declared by a # TYPE line with a known kind, label blocks are
+// well-formed, values parse as floats, and histograms with samples carry
+// their +Inf bucket, _sum, and _count series. It is the checker behind
+// the /metrics golden test, `dsdbench -validate-metrics`, and the CI
+// curl step.
+func ValidateExposition(data []byte) error {
+	kinds := make(map[string]string) // family name → kind
+	// sampled histogram family → set of suffixes seen
+	histParts := make(map[string]map[string]bool)
+	hasInf := make(map[string]bool)
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				return fmt.Errorf("metrics: line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				if !validName(fields[2]) {
+					return fmt.Errorf("metrics: line %d: HELP for invalid name %q", lineNo, fields[2])
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("metrics: line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !validName(name) {
+					return fmt.Errorf("metrics: line %d: TYPE for invalid name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("metrics: line %d: unknown type %q", lineNo, kind)
+				}
+				if _, dup := kinds[name]; dup {
+					return fmt.Errorf("metrics: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				kinds[name] = kind
+			default:
+				return fmt.Errorf("metrics: line %d: unknown comment keyword %q", lineNo, fields[1])
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value [timestamp]
+		rest := line
+		name := rest
+		labels := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			name = rest[:i]
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				return fmt.Errorf("metrics: line %d: unterminated label block", lineNo)
+			}
+			labels = rest[i : j+1]
+			rest = name + rest[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 2 || len(fields) > 3 {
+			return fmt.Errorf("metrics: line %d: malformed sample %q", lineNo, line)
+		}
+		name = fields[0]
+		if !validName(name) {
+			return fmt.Errorf("metrics: line %d: invalid metric name %q", lineNo, name)
+		}
+		if labels != "" && !labelBlockRE.MatchString(labels) {
+			return fmt.Errorf("metrics: line %d: malformed label block %q", lineNo, labels)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("metrics: line %d: bad sample value %q", lineNo, fields[1])
+		}
+		// Resolve the family: exact name, or a histogram/summary series
+		// suffix of a declared family.
+		fam, suffix := name, ""
+		if _, ok := kinds[fam]; !ok {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, sfx)
+				if base != name {
+					if k, ok := kinds[base]; ok && (k == "histogram" || k == "summary") {
+						fam, suffix = base, sfx
+						break
+					}
+				}
+			}
+		}
+		kind, ok := kinds[fam]
+		if !ok {
+			return fmt.Errorf("metrics: line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if kind == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("metrics: line %d: bare sample %q for histogram family", lineNo, name)
+			}
+			if histParts[fam] == nil {
+				histParts[fam] = make(map[string]bool)
+			}
+			histParts[fam][suffix] = true
+			if suffix == "_bucket" && strings.Contains(labels, `le="+Inf"`) {
+				hasInf[fam] = true
+			}
+		}
+	}
+	for fam, parts := range histParts {
+		for _, want := range []string{"_bucket", "_sum", "_count"} {
+			if !parts[want] {
+				return fmt.Errorf("metrics: histogram %q missing %s series", fam, want)
+			}
+		}
+		if !hasInf[fam] {
+			return fmt.Errorf("metrics: histogram %q missing le=\"+Inf\" bucket", fam)
+		}
+	}
+	return nil
+}

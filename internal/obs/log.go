@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LogOptions configures NewLogger.
+type LogOptions struct {
+	// Level is the minimum level: "debug", "info", "warn", or "error"
+	// ("" = info).
+	Level string
+	// Format is "text" (human-readable, the default) or "json".
+	Format string
+	// Prefix is prepended to every text-format line (e.g. "dsdd: "),
+	// matching the CLIs' historical log.SetPrefix look. Ignored for json.
+	Prefix string
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w per opts. The text format
+// keeps the CLIs' historical one-line human-readable output (prefix,
+// message, trailing key=value attrs); json emits standard slog JSON.
+func NewLogger(w io.Writer, opts LogOptions) (*slog.Logger, error) {
+	level, err := ParseLevel(opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	switch opts.Format {
+	case "", "text":
+		return slog.New(&humanHandler{w: w, mu: &sync.Mutex{}, prefix: opts.Prefix, level: level}), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text|json)", opts.Format)
+}
+
+// humanHandler renders records as the CLIs always have: an optional
+// prefix, a level tag for non-INFO records, the message, then key=value
+// attrs. It deliberately drops timestamps — these logs go to a terminal
+// or a supervisor that stamps lines itself.
+type humanHandler struct {
+	w      io.Writer
+	mu     *sync.Mutex
+	prefix string
+	level  slog.Level
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (h *humanHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+func (h *humanHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(h.prefix)
+	switch {
+	case r.Level >= slog.LevelError:
+		b.WriteString("error: ")
+	case r.Level >= slog.LevelWarn:
+		b.WriteString("warn: ")
+	case r.Level < slog.LevelInfo:
+		b.WriteString("debug: ")
+	}
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		writeAttr(&b, h.groups, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.groups, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func (h *humanHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &nh
+}
+
+func (h *humanHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	nh.groups = append(append([]string(nil), h.groups...), name)
+	return &nh
+}
+
+// writeAttr appends " key=value" (group-qualified, value quoted when it
+// contains spaces, quotes, or '=').
+func writeAttr(b *strings.Builder, groups []string, a slog.Attr) {
+	if a.Value.Kind() == slog.KindGroup {
+		sub := a.Value.Group()
+		if len(sub) == 0 {
+			return
+		}
+		g := groups
+		if a.Key != "" {
+			g = append(append([]string(nil), groups...), a.Key)
+		}
+		for _, s := range sub {
+			writeAttr(b, g, s)
+		}
+		return
+	}
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	b.WriteByte(' ')
+	for _, g := range groups {
+		b.WriteString(g)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	v := a.Value.String()
+	if strings.ContainsAny(v, " \"=") || v == "" {
+		v = strconv.Quote(v)
+	}
+	b.WriteString(v)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"":      slog.LevelInfo,
+		"info":  slog.LevelInfo,
+		"debug": slog.LevelDebug,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should error")
+	}
+}
+
+// TestHumanFormat pins the text handler's output to the CLIs' historical
+// look: prefix, message, key=value attrs, level tags only off-INFO.
+func TestHumanFormat(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, LogOptions{Prefix: "dsdd: "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("listening", "addr", "127.0.0.1:8080", "graphs", 2)
+	lg.Warn("slow query", "graph", "web", "total_ms", 1234.5)
+	lg.Error("boom", "err", "bad thing")
+	lg.Debug("hidden")
+
+	want := strings.Join([]string{
+		`dsdd: listening addr=127.0.0.1:8080 graphs=2`,
+		`dsdd: warn: slow query graph=web total_ms=1234.5`,
+		`dsdd: error: boom err="bad thing"`,
+		``,
+	}, "\n")
+	if b.String() != want {
+		t.Fatalf("got:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestHumanLevelsAndGroups(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, LogOptions{Level: "debug"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("dbg")
+	lg.WithGroup("shard").With("addr", "w1").Info("up", "inflight", 3)
+	want := "debug: dbg\nup shard.addr=w1 shard.inflight=3\n"
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, LogOptions{Format: "json", Level: "warn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "graph", "web")
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1: %q", len(lines), b.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["msg"] != "kept" || rec["graph"] != "web" || rec["level"] != "WARN" {
+		t.Fatalf("json record = %v", rec)
+	}
+}
+
+func TestNewLoggerBadInputs(t *testing.T) {
+	var b strings.Builder
+	if _, err := NewLogger(&b, LogOptions{Level: "loud"}); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&b, LogOptions{Format: "xml"}); err == nil {
+		t.Error("bad format accepted")
+	}
+}

@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets is the default latency histogram layout, in seconds.
+// The spread covers a warm cache hit (sub-millisecond) through a cold
+// billion-edge decomposition (tens of seconds).
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Registry is a process-local metrics registry exporting the Prometheus
+// text exposition format. Metric lookups (Counter/Gauge/Histogram) are
+// idempotent — the same (name, labels) returns the same metric — and
+// safe for concurrent use; the returned metrics update via atomics, so
+// the per-event cost after lookup is a single atomic add.
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*family
+}
+
+// family is one metric name: its metadata plus a series per label set.
+type family struct {
+	name    string
+	help    string
+	kind    string // "counter" | "gauge" | "histogram"
+	buckets []float64
+	series  map[string]any // rendered label string → metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fam: make(map[string]*family)}
+}
+
+// Counter returns the counter name with the given label key/value pairs,
+// creating it on first use. Counters only go up.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	return r.metric(name, help, "counter", nil, kv, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge name with the given label key/value pairs.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	return r.metric(name, help, "gauge", nil, kv, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram name with the given label key/value
+// pairs. buckets are the upper bounds (ascending; +Inf is implicit) and
+// are fixed by the family's first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, kv ...string) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	return r.metric(name, help, "histogram", buckets, kv, func() any { return nil }).(*Histogram)
+}
+
+// metric resolves (name, labels) to its metric under one lock, creating
+// family and series as needed. Re-registering a name under a different
+// kind panics: it is a programming error that would corrupt the
+// exposition.
+func (r *Registry) metric(name, help, kind string, buckets []float64, kv []string, mk func() any) any {
+	key := renderLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fam[name]
+	if !ok {
+		mustValidName(name)
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]any)}
+		if kind == "histogram" {
+			f.buckets = append([]float64(nil), buckets...)
+		}
+		r.fam[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	m, ok := f.series[key]
+	if !ok {
+		if kind == "histogram" {
+			m = newHistogram(f.buckets)
+		} else {
+			m = mk()
+		}
+		f.series[key] = m
+	}
+	return m
+}
+
+// mustValidName enforces the Prometheus metric/label name charset.
+func mustValidName(name string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels renders key/value pairs as the canonical inner label
+// string (`k1="v1",k2="v2"`, keys sorted), which doubles as the series
+// map key. Values are escaped per the exposition format.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if !validName(kv[i]) || strings.ContainsRune(kv[i], ':') {
+			panic(fmt.Sprintf("obs: invalid label name %q", kv[i]))
+		}
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string per the text exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set installs v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Observations are lock-free:
+// one atomic add on the bucket, one on the count, a CAS loop on the sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last = +Inf overflow
+	sum    atomic.Uint64  // float64 bits
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records v. Bucket bounds are inclusive upper bounds (le), so
+// an observation equal to a bound lands in that bound's bucket.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSeconds records a duration in seconds, the unit every latency
+// histogram in this repository uses.
+func (h *Histogram) ObserveSeconds(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// BucketCounts returns the cumulative per-bucket counts (the trailing
+// entry is the +Inf bucket and equals Count up to concurrent skew).
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series by label
+// string, histograms expanded to cumulative _bucket/_sum/_count lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fam))
+	for name := range r.fam {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.fam[name]
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := writeSeries(w, f, k, f.series[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries writes one (family, label set)'s sample lines.
+func writeSeries(w io.Writer, f *family, labels string, m any) error {
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, wrapLabels(labels), v.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, wrapLabels(labels), fmtFloat(v.Value()))
+		return err
+	case *Histogram:
+		cum := v.BucketCounts()
+		for i, b := range v.bounds {
+			le := fmtFloat(b)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, wrapLabels(joinLabels(labels, `le="`+le+`"`)), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, wrapLabels(joinLabels(labels, `le="+Inf"`)), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, wrapLabels(labels), fmtFloat(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, wrapLabels(labels), v.Count())
+		return err
+	}
+	return fmt.Errorf("obs: unknown metric type %T", m)
+}
+
+func wrapLabels(inner string) string {
+	if inner == "" {
+		return ""
+	}
+	return "{" + inner + "}"
+}
+
+func joinLabels(inner, extra string) string {
+	if inner == "" {
+		return extra
+	}
+	return inner + "," + extra
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

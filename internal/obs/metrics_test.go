@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent exercises lookups and updates from many
+// goroutines; meaningful under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			graph := []string{"a", "b"}[i%2]
+			for j := 0; j < 200; j++ {
+				r.Counter("dsd_queries_total", "queries", "graph", graph).Inc()
+				r.Gauge("dsd_inflight", "in flight", "graph", graph).Add(1)
+				r.Histogram("dsd_query_seconds", "latency", DefLatencyBuckets, "graph", graph).Observe(0.01)
+				if j%10 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("dsd_queries_total", "queries", "graph", "a").Value(); got != 4*200 {
+		t.Fatalf("counter a = %d, want %d", got, 4*200)
+	}
+	if got := r.Histogram("dsd_query_seconds", "latency", DefLatencyBuckets, "graph", "b").Count(); got != 4*200 {
+		t.Fatalf("histogram b count = %d, want %d", got, 4*200)
+	}
+}
+
+// TestHistogramBuckets pins the le (inclusive upper bound) semantics at
+// the boundaries.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", []float64{1, 2.5, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2.5, 5, 7} {
+		h.Observe(v)
+	}
+	// le=1: {0.5, 1}; le=2.5: +{1.0000001, 2.5}; le=5: +{5}; +Inf: +{7}
+	want := []int64{2, 4, 5, 6}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative bucket[%d] = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if want := 0.5 + 1 + 1.0000001 + 2.5 + 5 + 7; h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	h.ObserveSeconds(1500 * time.Millisecond)
+	if got := h.BucketCounts(); got[1] != 5 {
+		t.Fatalf("after ObserveSeconds(1.5s) le=2.5 cum = %d, want 5", got[1])
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition output byte-for-byte:
+// sorted families, sorted series, HELP/TYPE lines, cumulative buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dsd_queries_total", "Total queries.", "graph", "web", "algo", "core-exact").Add(3)
+	r.Counter("dsd_queries_total", "Total queries.", "graph", "dblp", "algo", "peel").Inc()
+	r.Gauge("dsd_graphs", "Loaded graphs.").Set(2)
+	h := r.Histogram("dsd_query_seconds", "Query latency.", []float64{0.1, 1}, "graph", "web")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP dsd_graphs Loaded graphs.`,
+		`# TYPE dsd_graphs gauge`,
+		`dsd_graphs 2`,
+		`# HELP dsd_queries_total Total queries.`,
+		`# TYPE dsd_queries_total counter`,
+		`dsd_queries_total{algo="core-exact",graph="web"} 3`,
+		`dsd_queries_total{algo="peel",graph="dblp"} 1`,
+		`# HELP dsd_query_seconds Query latency.`,
+		`# TYPE dsd_query_seconds histogram`,
+		`dsd_query_seconds_bucket{graph="web",le="0.1"} 1`,
+		`dsd_query_seconds_bucket{graph="web",le="1"} 2`,
+		`dsd_query_seconds_bucket{graph="web",le="+Inf"} 3`,
+		`dsd_query_seconds_sum{graph="web"} 2.55`,
+		`dsd_query_seconds_count{graph="web"} 3`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("golden output fails its own validator: %v", err)
+	}
+}
+
+// TestLabelEscaping: label values with quotes, backslashes, newlines.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "test", "path", `a"b\c`+"\n").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `c{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("escaped output invalid: %v", err)
+	}
+}
+
+// TestRegistryPanics: misuse is a programming error and must fail fast.
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "fine")
+	mustPanic("kind clash", func() { r.Gauge("ok_total", "clash") })
+	mustPanic("bad name", func() { r.Counter("0bad", "x") })
+	mustPanic("odd labels", func() { r.Counter("odd_total", "x", "k") })
+	mustPanic("bad label name", func() { r.Counter("l_total", "x", "0k", "v") })
+	mustPanic("unsorted buckets", func() { r.Histogram("h2", "x", []float64{2, 1}) })
+}
+
+// TestValidateExpositionRejects feeds malformed payloads through the
+// validator.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no type":            "foo 1\n",
+		"unknown kind":       "# TYPE foo banana\nfoo 1\n",
+		"dup type":           "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"bad value":          "# TYPE foo counter\nfoo abc\n",
+		"bad label block":    "# TYPE foo counter\nfoo{bad} 1\n",
+		"bare histogram":     "# TYPE h histogram\nh 1\n",
+		"histogram no inf":   "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram no count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"unknown comment":    "# FROB foo counter\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition([]byte(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+	ok := "# HELP foo Something.\n# TYPE foo counter\nfoo{a=\"b\"} 1\nfoo 2\n"
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Errorf("validator rejected valid input: %v", err)
+	}
+}

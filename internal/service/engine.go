@@ -2,13 +2,16 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	dsd "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service/wire"
 	"repro/internal/shard"
 )
@@ -49,6 +52,22 @@ type Config struct {
 	// ShardTimeout bounds each remote component attempt (0 = the
 	// query's own budget only).
 	ShardTimeout time.Duration
+	// Metrics is the registry the engine's counters, gauges, and latency
+	// histograms land in — the one /metrics serves (nil = a fresh private
+	// registry, so instrumentation is always live).
+	Metrics *obs.Registry
+	// Logger receives the engine's structured records, most importantly
+	// the slow-query log (nil discards them).
+	Logger *slog.Logger
+	// SlowQuery is the slow-query-log threshold: a computed query whose
+	// total time reaches it is logged at Warn with its full phase
+	// breakdown. 0 disables the log.
+	SlowQuery time.Duration
+	// NoTrace disables per-query phase tracing. By default every computed
+	// query runs under a fresh obs.Tracer and its span tree returns on
+	// QueryStats.Trace; the off path costs nothing on the hot loop, so
+	// this exists for callers that do not want traces in responses.
+	NoTrace bool
 }
 
 // Engine dispatches dsd.Query values against registered graphs through a
@@ -65,6 +84,11 @@ type Engine struct {
 	algoWorkers   int
 	algoIterative int
 	coord         *shard.Coordinator
+
+	metrics   *obs.Registry
+	log       *slog.Logger
+	slowQuery time.Duration
+	noTrace   bool
 
 	queries      atomic.Int64
 	computes     atomic.Int64
@@ -88,9 +112,18 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 			algoWorkers = 1
 		}
 	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	coord := shard.NewCoordinator(reg, shard.NewSet(cfg.ShardAddrs...), shard.Config{
 		Hedge:            cfg.ShardHedge,
 		ComponentTimeout: cfg.ShardTimeout,
+		Metrics:          metrics,
 	})
 	return &Engine{
 		reg:           reg,
@@ -100,8 +133,16 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		algoWorkers:   algoWorkers,
 		algoIterative: cfg.AlgoIterative,
 		coord:         coord,
+		metrics:       metrics,
+		log:           logger,
+		slowQuery:     cfg.SlowQuery,
+		noTrace:       cfg.NoTrace,
 	}
 }
+
+// Metrics returns the engine's metrics registry — the one /metrics
+// serves.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Coordinator returns the engine's distributed coordinator (its Set is
 // how shard workers register).
@@ -174,7 +215,31 @@ func (e *Engine) Resolve(q dsd.Query) (dsd.Query, error) {
 // solve is the shared pipeline behind Solve and Query (counters are the
 // callers' concern): resolve the graph, apply engine defaults, normalize,
 // and run through the single-flight cache on the canonical query key.
-func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeout time.Duration) (*core.Result, bool, error) {
+func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeout time.Duration) (res *core.Result, cached bool, err error) {
+	// Per-request accounting: one counter increment per (graph, algo,
+	// outcome) and one end-to-end latency observation per (graph, algo) —
+	// cache hits included, since the caller's latency is what the
+	// histogram answers for. Unresolvable requests land under "unknown"
+	// labels so hostile graph names cannot mint unbounded series.
+	qstart := time.Now()
+	glabel, alabel := "unknown", "unknown"
+	defer func() {
+		outcome := "ok"
+		switch {
+		case err != nil && errors.Is(err, context.DeadlineExceeded):
+			outcome = "timeout"
+		case err != nil:
+			outcome = "error"
+		case cached:
+			outcome = "cache_hit"
+		}
+		e.metrics.Counter("dsd_queries_total",
+			"Queries served, by graph, algorithm, and outcome.",
+			"graph", glabel, "algo", alabel, "outcome", outcome).Inc()
+		e.metrics.Histogram("dsd_query_seconds",
+			"End-to-end query latency as the caller saw it, cache hits included.",
+			obs.DefLatencyBuckets, "graph", glabel, "algo", alabel).ObserveSeconds(time.Since(qstart))
+	}()
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
@@ -182,10 +247,12 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 	if !ok {
 		return nil, false, fmt.Errorf("service: unknown graph %q", graphName)
 	}
+	glabel = graphName
 	nq, err := e.Resolve(q)
 	if err != nil {
 		return nil, false, err
 	}
+	alabel = string(nq.Algo)
 
 	waitCtx := ctx
 	if timeout > 0 {
@@ -195,7 +262,7 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 	}
 
 	key := Key{Graph: graphName, Query: nq.Key()}
-	res, cached, err := e.cache.Do(waitCtx, key, func() (*core.Result, error) {
+	res, cached, err = e.cache.Do(waitCtx, key, func() (*core.Result, error) {
 		// The computation is deliberately detached from the submitting
 		// request's ctx: under single flight it serves every waiter on
 		// the key, so only the engine's own budget may cancel it.
@@ -208,12 +275,20 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 				return nil, fmt.Errorf("service: query %v: %w", key, err)
 			}
 		}
+		qwStart := time.Now()
 		select {
 		case e.sem <- struct{}{}:
 		case <-cctx.Done():
 			return nil, fmt.Errorf("service: query %v timed out waiting for a worker: %w", key, cctx.Err())
 		}
+		queueWait := time.Since(qwStart)
+		e.metrics.Histogram("dsd_queue_wait_seconds",
+			"Time a computation spent waiting for a worker-pool slot.",
+			obs.DefLatencyBuckets).ObserveSeconds(queueWait)
 		e.computes.Add(1)
+		e.metrics.Counter("dsd_computes_total",
+			"Computations actually run (single-flight cache misses), by graph and algorithm.",
+			"graph", graphName, "algo", string(nq.Algo)).Inc()
 		type outcome struct {
 			res *core.Result
 			err error
@@ -230,6 +305,21 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 		if nq.Algo == dsd.AlgoCoreExact {
 			algoCtx = cctx
 		}
+		// Root the per-query trace. Solver.Solve and the coordinator each
+		// open their own solve span under this root when the context
+		// carries the tracer; with NoTrace the tracer is nil and every span
+		// call below it is a no-op that allocates nothing.
+		var tr *obs.Tracer
+		if !e.noTrace {
+			tr = obs.New()
+		}
+		root := tr.Start(obs.SpanQuery, nil)
+		if root != nil {
+			root.SetAttr("graph", graphName)
+			root.SetAttr("algo", string(nq.Algo))
+			root.SetFloat("queue_wait_ms", float64(queueWait)/float64(time.Millisecond))
+			algoCtx = obs.WithSpan(algoCtx, tr, root)
+		}
 		done := make(chan outcome, 1)
 		go func() {
 			defer func() { <-e.sem }()
@@ -244,6 +334,15 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 				r, err = e.coord.Solve(algoCtx, graphName, nq)
 			} else {
 				r, err = entry.Solver.Solve(algoCtx, nq)
+			}
+			root.End()
+			if err == nil && r != nil {
+				if tr != nil {
+					// The engine's snapshot supersedes the solver's own:
+					// same spans plus the root query span.
+					r.Stats.Trace = tr.Snapshot()
+				}
+				e.observeComputed(graphName, nq, r)
 			}
 			done <- outcome{r, err}
 		}()
@@ -260,8 +359,57 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 	return res, cached, err
 }
 
+// observeComputed is the slow-query log: a computed result whose total
+// time reaches the threshold is logged at Warn with the full phase
+// breakdown, so one record answers "where did the time go" without
+// pulling the trace.
+func (e *Engine) observeComputed(graphName string, nq dsd.Query, r *core.Result) {
+	if e.slowQuery <= 0 || r.Stats.Total < e.slowQuery {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	attrs := []any{
+		slog.String("graph", graphName),
+		slog.String("algo", string(nq.Algo)),
+		slog.Float64("total_ms", ms(r.Stats.Total)),
+		slog.Float64("decompose_ms", ms(r.Stats.Decompose)),
+		slog.Float64("presolve_ms", ms(r.Stats.PreSolveTime)),
+		slog.Float64("flow_ms", ms(r.Stats.FlowTime)),
+		slog.Int("flow_solves", r.Stats.Iterations),
+		slog.Int("presolve_iters", r.Stats.PreSolveIters),
+		slog.Int("presolve_skips", r.Stats.PreSolveSkips),
+	}
+	if r.Stats.ShardComponents > 0 {
+		attrs = append(attrs,
+			slog.Int("shard_components", r.Stats.ShardComponents),
+			slog.Int("shard_remote", r.Stats.ShardRemote),
+			slog.Int("shard_fallbacks", r.Stats.ShardFallbacks),
+			slog.Int("shard_hedges", r.Stats.ShardHedges),
+		)
+	}
+	if r.Stats.Trace != nil {
+		attrs = append(attrs, slog.String("trace_id", r.Stats.Trace.TraceID))
+	}
+	e.log.Warn("slow query", attrs...)
+}
+
 // Stats returns the engine's operational counters.
 func (e *Engine) Stats() wire.StatsResponse {
+	health := e.coord.Health()
+	var shardWorkers []wire.ShardWorkerStats
+	if len(health) > 0 {
+		shardWorkers = make([]wire.ShardWorkerStats, len(health))
+		for i, h := range health {
+			shardWorkers[i] = wire.ShardWorkerStats{
+				Addr:          h.Addr,
+				InFlight:      h.InFlight,
+				Remote:        h.Remote,
+				Failures:      h.Failures,
+				Hedges:        h.Hedges,
+				LatencyEWMAMs: float64(h.LatencyEWMA) / float64(time.Millisecond),
+			}
+		}
+	}
 	return wire.StatsResponse{
 		Graphs:        e.reg.Len(),
 		Workers:       cap(e.sem),
@@ -271,7 +419,9 @@ func (e *Engine) Stats() wire.StatsResponse {
 		Computes:      e.computes.Load(),
 		CacheHits:     e.hits.Load(),
 		Errors:        e.errors.Load(),
+		AwaitOrphans:  dsd.AwaitOrphans(),
 		Shards:        e.coord.Set().Len(),
 		ShardQueries:  e.shardQueries.Load(),
+		ShardWorkers:  shardWorkers,
 	}
 }

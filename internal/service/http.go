@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ import (
 //	GET  /v1/graphs    — list registered graphs with their stats
 //	POST /v1/graphs    — register a graph (inline edges or server path)
 //	GET  /v1/stats     — operational counters
+//	GET  /metrics      — Prometheus text exposition of the engine registry
 //	GET  /healthz      — liveness probe
 //	POST /v3/component — run one CoreExact component search (shard worker)
 //	POST /v3/bound     — raise an in-flight component search's floor
@@ -53,6 +55,7 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.worker.Register(mux)
 	mux.HandleFunc("GET /v3/shards", s.handleListShards)
@@ -188,6 +191,30 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// handleMetrics is GET /metrics: the engine's registry in Prometheus
+// text exposition format. Registry-external state (registered graphs,
+// shard set size) is refreshed into gauges at scrape time, so a scrape
+// always reflects the current configuration even if no query ran.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.engine.Metrics()
+	m.Gauge("dsd_graphs", "Graphs currently registered.").Set(float64(s.reg.Len()))
+	m.Gauge("dsd_shard_workers", "Shard workers currently registered with the coordinator.").
+		Set(float64(s.engine.Coordinator().Set().Len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WritePrometheus(w)
+}
+
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ —
+// opt-in (the dsdd -pprof flag), since profiling endpoints expose
+// process internals and cost CPU while a profile runs.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // handleRegisterShard is POST /v3/shards: a `dsdd -shard-of` worker

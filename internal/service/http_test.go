@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -129,7 +130,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if stats.Graphs != 1 || stats.Errors != 0 {
 		t.Errorf("stats = %+v", stats)
 	}
-	if got := srv.Engine().Stats(); got != *stats {
+	if got := srv.Engine().Stats(); !reflect.DeepEqual(got, *stats) {
 		t.Errorf("client stats %+v != engine stats %+v", *stats, got)
 	}
 

@@ -17,6 +17,7 @@ import (
 	dsd "repro"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Result is the JSON form of a densest-subgraph answer. The exact density
@@ -179,6 +180,14 @@ type QueryStats struct {
 	ShardRemote     int `json:"shard_remote,omitempty"`
 	ShardFallbacks  int `json:"shard_fallbacks,omitempty"`
 	ShardHedges     int `json:"shard_hedges,omitempty"`
+	// FlowMs / PreSolveMs attribute the run's wall time to flow solves
+	// and Greed++ pre-solve runs; on parallel runs the phases overlap
+	// across workers, so the sums can exceed TotalMs.
+	FlowMs     float64 `json:"flow_ms,omitempty"`
+	PreSolveMs float64 `json:"pre_solve_ms,omitempty"`
+	// Trace is the run's phase-level span tree, present only when the
+	// serving engine ran with tracing enabled.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // FromQueryStats converts a run's stats into their wire form.
@@ -196,6 +205,9 @@ func FromQueryStats(st dsd.QueryStats) *QueryStats {
 		ShardRemote:         st.ShardRemote,
 		ShardFallbacks:      st.ShardFallbacks,
 		ShardHedges:         st.ShardHedges,
+		FlowMs:              float64(st.FlowTime) / float64(time.Millisecond),
+		PreSolveMs:          float64(st.PreSolveTime) / float64(time.Millisecond),
+		Trace:               st.Trace,
 	}
 }
 
@@ -291,10 +303,32 @@ type StatsResponse struct {
 	Computes      int64 `json:"computes"`
 	CacheHits     int64 `json:"cache_hits"`
 	Errors        int64 `json:"errors"`
+	// AwaitOrphans counts abandoned computations — callers timed out on a
+	// non-preemptible algorithm and the engine finished (and dropped) the
+	// answer anyway; see dsd.AwaitOrphans.
+	AwaitOrphans int64 `json:"await_orphans"`
 	// Shards is the number of registered shard workers; ShardQueries
 	// counts computations routed through the distributed coordinator.
 	Shards       int   `json:"shards,omitempty"`
 	ShardQueries int64 `json:"shard_queries,omitempty"`
+	// ShardWorkers breaks the shard counters down per registered worker,
+	// with the coordinator's live health view (in-flight component count,
+	// exponentially-weighted remote latency).
+	ShardWorkers []ShardWorkerStats `json:"shard_workers,omitempty"`
+}
+
+// ShardWorkerStats is the coordinator's per-worker health and accounting
+// view: components answered remotely, remote failures that fell back to
+// local execution, straggler hedges launched against it, the components
+// in flight on it right now, and the EWMA of its component round-trip
+// latency.
+type ShardWorkerStats struct {
+	Addr          string  `json:"addr"`
+	InFlight      int64   `json:"in_flight"`
+	Remote        int64   `json:"remote"`
+	Failures      int64   `json:"failures"`
+	Hedges        int64   `json:"hedges"`
+	LatencyEWMAMs float64 `json:"latency_ewma_ms"`
 }
 
 // ComponentRequest is the wire v3 shard-execution message
@@ -316,6 +350,13 @@ type ComponentRequest struct {
 	KLocate   int64   `json:"k_locate"`
 	FloorNum  int64   `json:"floor_num,omitempty"`
 	FloorDen  int64   `json:"floor_den,omitempty"`
+	// TraceID / ParentSpan propagate the coordinator's trace across the
+	// process boundary: a non-empty TraceID makes the worker record its
+	// phase spans under ParentSpan (the coordinator's dispatch span) and
+	// ship them back in ComponentResponse.Spans, stitching both processes
+	// into one tree. Empty disables worker-side tracing.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
 }
 
 // ComponentResponse answers a ComponentRequest: the best subgraph found
@@ -333,6 +374,16 @@ type ComponentResponse struct {
 	PreSolveIters   int     `json:"pre_solve_iters"`
 	PreSolveSkipped bool    `json:"pre_solve_skipped,omitempty"`
 	TotalMs         float64 `json:"total_ms"`
+	// FlowMs / PreSolveMs split TotalMs into its flow-solve and Greed++
+	// pre-solve shares.
+	FlowMs     float64 `json:"flow_ms,omitempty"`
+	PreSolveMs float64 `json:"pre_solve_ms,omitempty"`
+	// TraceID echoes the request's trace id; Spans are the worker-side
+	// phase spans of the search, parented under the request's ParentSpan,
+	// for the coordinator to adopt into its trace. Both are empty when the
+	// request carried no TraceID.
+	TraceID string          `json:"trace_id,omitempty"`
+	Spans   []obs.TraceSpan `json:"spans,omitempty"`
 }
 
 // BoundRequest rebroadcasts an improved global lower bound to an

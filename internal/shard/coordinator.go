@@ -6,11 +6,13 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	dsd "repro"
+	"repro/internal/obs"
 	"repro/internal/rational"
 	"repro/internal/service/wire"
 )
@@ -32,6 +34,10 @@ type Config struct {
 	// one query before the coordinator stops offering it components and
 	// runs the rest of that lane locally (0 = DefaultFailureLimit).
 	FailureLimit int
+	// Metrics receives the coordinator's per-worker gauges and counters
+	// (in-flight components, latency EWMA, remote/fallback/hedge totals);
+	// nil uses a private registry, keeping every update path live.
+	Metrics *obs.Registry
 }
 
 // DefaultHedge is the default straggler-hedging delay. It only bounds
@@ -66,6 +72,10 @@ type Coordinator struct {
 	token       string
 	seq         atomic.Int64
 	solves      atomic.Int64
+	metrics     *obs.Registry
+
+	healthMu sync.Mutex
+	health   map[string]*workerHealth
 }
 
 // NewCoordinator builds a coordinator answering from src (planning and
@@ -84,6 +94,10 @@ func NewCoordinator(src SolverSource, set *Set, cfg Config) *Coordinator {
 	}
 	tok := make([]byte, 4)
 	rand.Read(tok)
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
 	return &Coordinator{
 		src:         src,
 		set:         set,
@@ -92,7 +106,43 @@ func NewCoordinator(src SolverSource, set *Set, cfg Config) *Coordinator {
 		compTimeout: cfg.ComponentTimeout,
 		failLimit:   failLimit,
 		token:       hex.EncodeToString(tok),
+		metrics:     metrics,
+		health:      make(map[string]*workerHealth),
 	}
+}
+
+// healthFor returns (creating on first use) the live health record of
+// the worker at addr.
+func (c *Coordinator) healthFor(addr string) *workerHealth {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	h, ok := c.health[addr]
+	if !ok {
+		h = &workerHealth{}
+		c.health[addr] = h
+	}
+	return h
+}
+
+// Health snapshots every worker the coordinator has dispatched to,
+// sorted by address — the per-worker view /v1/stats exposes and the
+// substrate latency-aware placement will steer by.
+func (c *Coordinator) Health() []WorkerHealth {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	out := make([]WorkerHealth, 0, len(c.health))
+	for addr, h := range c.health {
+		out = append(out, WorkerHealth{
+			Addr:        addr,
+			InFlight:    h.inflight.Load(),
+			Remote:      h.remote.Load(),
+			Failures:    h.failures.Load(),
+			Hedges:      h.hedges.Load(),
+			LatencyEWMA: time.Duration(h.ewmaNs.Load()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // Set returns the coordinator's worker registry (grown by /v3/shards
@@ -152,15 +202,19 @@ type shardStats struct {
 	flowSolves int
 	preIters   int
 	preSkips   int
+	flowTime   time.Duration
+	preTime    time.Duration
 }
 
-func (st *shardStats) addSearch(flow, pre int, skip bool) {
+func (st *shardStats) addSearch(flow, pre int, skip bool, flowT, preT time.Duration) {
 	st.mu.Lock()
 	st.flowSolves += flow
 	st.preIters += pre
 	if skip {
 		st.preSkips++
 	}
+	st.flowTime += flowT
+	st.preTime += preT
 	st.mu.Unlock()
 }
 
@@ -184,13 +238,32 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 	}
 	c.solves.Add(1)
 
+	// Root the distributed run's trace (no-ops when ctx is untraced):
+	// location-phase spans and one dispatch span per component attach
+	// under it, and adopted worker-side spans stitch into the same tree.
+	tr, parent := obs.FromContext(ctx)
+	sp := tr.Start(obs.SpanSolve, parent)
+	if sp != nil {
+		sp.SetAttr("algo", string(dsd.AlgoCoreExact))
+		sp.SetAttr("sharded", "true")
+		ctx = obs.WithSpan(ctx, tr, sp)
+		defer sp.End()
+	}
+	attachTrace := func(res *dsd.Result, err error) (*dsd.Result, error) {
+		if err == nil && tr != nil {
+			sp.End()
+			res.Stats.Trace = tr.Snapshot()
+		}
+		return res, err
+	}
+
 	plan, err := solver.PlanComponents(ctx, nq)
 	if err != nil {
 		return nil, err
 	}
 	st := &shardStats{}
 	if plan.Empty {
-		return c.finish(solver, nq, nil, plan, st, start)
+		return attachTrace(c.finish(solver, nq, nil, plan, st, start))
 	}
 
 	addrs := c.shardsFor(nq)
@@ -258,7 +331,7 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 		}
 	}
 	_, witness := cell.snapshot()
-	return c.finish(solver, nq, witness, plan, st, start)
+	return attachTrace(c.finish(solver, nq, witness, plan, st, start))
 }
 
 // finish re-certifies the winning witness against the local graph and
@@ -272,6 +345,8 @@ func (c *Coordinator) finish(solver *dsd.Solver, nq dsd.Query, witness []int32, 
 	res.Stats.Iterations = st.flowSolves
 	res.Stats.PreSolveIters = st.preIters
 	res.Stats.PreSolveSkips = st.preSkips
+	res.Stats.FlowTime = st.flowTime
+	res.Stats.PreSolveTime = st.preTime
 	st.mu.Unlock()
 	res.Stats.Decompose = plan.Decompose
 	res.Stats.ReusedDecomposition = plan.ReusedDecomposition
@@ -290,6 +365,8 @@ type answer struct {
 	flow   int
 	pre    int
 	skip   bool
+	flowT  time.Duration
+	preT   time.Duration
 	remote bool
 	err    error
 }
@@ -306,6 +383,21 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 	comp := plan.Components[i]
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// One dispatch span per component: the coordinator's side of the
+	// stitched tree. Local attempts trace under it through rctx; remote
+	// attempts carry (trace id, dispatch span id) on the wire so the
+	// worker parents its subtree here.
+	tr, parent := obs.FromContext(ctx)
+	dsp := tr.Start(obs.SpanDispatch, parent)
+	if dsp != nil {
+		dsp.SetInt("component", int64(i))
+		dsp.SetInt("size", int64(len(comp)))
+		if addr != "" {
+			dsp.SetAttr("shard", addr)
+		}
+		rctx = obs.WithSpan(rctx, tr, dsp)
+		defer dsp.End()
+	}
 	ch := make(chan answer, 2)
 
 	launchLocal := func() {
@@ -324,6 +416,7 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 				d:    ratio(res.DensityNum, res.DensityDen),
 				w:    res.Witness,
 				flow: res.FlowSolves, pre: res.PreSolveIters, skip: res.PreSolveSkipped,
+				flowT: res.FlowTime, preT: res.PreSolveTime,
 			}
 		}()
 	}
@@ -353,7 +446,18 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 	})
 	defer cell.unsubscribe(sub)
 
+	health := c.healthFor(addr)
 	go func() {
+		health.inflight.Add(1)
+		c.metrics.Gauge("dsd_shard_inflight",
+			"Components currently in flight on the shard worker.",
+			"worker", addr).Set(float64(health.inflight.Load()))
+		defer func() {
+			health.inflight.Add(-1)
+			c.metrics.Gauge("dsd_shard_inflight",
+				"Components currently in flight on the shard worker.",
+				"worker", addr).Set(float64(health.inflight.Load()))
+		}()
 		b := cell.bound()
 		cctx := rctx
 		if c.compTimeout > 0 {
@@ -361,24 +465,43 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 			cctx, ccancel = context.WithTimeout(rctx, c.compTimeout)
 			defer ccancel()
 		}
+		rstart := time.Now()
 		resp, err := c.client.Component(cctx, addr, wire.ComponentRequest{
-			Graph:     graphName,
-			SearchID:  searchID,
-			Query:     wireQ,
-			Component: comp,
-			KLocate:   plan.KLocate,
-			FloorNum:  b.Num,
-			FloorDen:  b.Den,
+			Graph:      graphName,
+			SearchID:   searchID,
+			Query:      wireQ,
+			Component:  comp,
+			KLocate:    plan.KLocate,
+			FloorNum:   b.Num,
+			FloorDen:   b.Den,
+			TraceID:    tr.ID(),
+			ParentSpan: dsp.ID(),
 		})
 		if err != nil {
+			health.failures.Add(1)
+			c.metrics.Counter("dsd_shard_failures_total",
+				"Remote component attempts that failed (fell back to local execution).",
+				"worker", addr).Inc()
 			ch <- answer{remote: true, err: err}
 			return
 		}
+		health.remote.Add(1)
+		health.observe(time.Since(rstart))
+		c.metrics.Counter("dsd_shard_remote_total",
+			"Components answered remotely by the shard worker.",
+			"worker", addr).Inc()
+		c.metrics.Gauge("dsd_shard_latency_ewma_seconds",
+			"EWMA of the worker's component round-trip latency.",
+			"worker", addr).Set(time.Duration(health.ewmaNs.Load()).Seconds())
+		// Stitch the worker's phase spans under this dispatch span.
+		tr.Adopt(resp.Spans, addr)
 		ch <- answer{
 			remote: true,
 			d:      ratio(resp.DensityNum, resp.DensityDen),
 			w:      resp.Witness,
 			flow:   resp.FlowSolves, pre: resp.PreSolveIters, skip: resp.PreSolveSkipped,
+			flowT: time.Duration(resp.FlowMs * float64(time.Millisecond)),
+			preT:  time.Duration(resp.PreSolveMs * float64(time.Millisecond)),
 		}
 	}()
 
@@ -411,6 +534,9 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 					// Dead worker → the component re-executes here; the
 					// query never loses it.
 					st.fallbacks.Add(1)
+					c.metrics.Counter("dsd_shard_fallbacks_total",
+						"Failed remote components re-executed locally.",
+						"worker", addr).Inc()
 					launchLocal()
 					localRunning = true
 					pending++
@@ -432,6 +558,10 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 				// local duplicate races it from the current (higher) floor;
 				// first result wins and cancels the other.
 				st.hedges.Add(1)
+				health.hedges.Add(1)
+				c.metrics.Counter("dsd_shard_hedges_total",
+					"Straggler hedges launched against the shard worker.",
+					"worker", addr).Inc()
 				launchLocal()
 				localRunning = true
 				pending++
@@ -447,7 +577,7 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 // before it can raise the shared bound: wire-carried numbers are never
 // trusted to prune sibling searches.
 func (c *Coordinator) merge(solver *dsd.Solver, nq dsd.Query, a answer, self int, cell *mergeCell, st *shardStats) {
-	st.addSearch(a.flow, a.pre, a.skip)
+	st.addSearch(a.flow, a.pre, a.skip, a.flowT, a.preT)
 	if len(a.w) == 0 {
 		return
 	}

@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ewmaWeight is the denominator of the latency EWMA's update step:
+// new = old + (sample−old)/ewmaWeight, i.e. α = 1/5. Five samples move
+// the estimate most of the way to a shifted steady state — responsive
+// enough to notice a worker degrading mid-query, damped enough that one
+// straggler does not flip placement decisions.
+const ewmaWeight = 5
+
+// workerHealth is the coordinator's live view of one shard worker,
+// updated lock-free from the dispatch lanes: how many components are in
+// flight on it right now, its lifetime remote/failure/hedge counts, and
+// an EWMA of its component round-trip latency. This is the substrate
+// latency-aware placement will steer by.
+type workerHealth struct {
+	inflight atomic.Int64
+	remote   atomic.Int64
+	failures atomic.Int64
+	hedges   atomic.Int64
+	ewmaNs   atomic.Int64 // 0 = no sample yet
+}
+
+// observe folds one successful component round-trip into the EWMA.
+func (h *workerHealth) observe(d time.Duration) {
+	sample := int64(d)
+	if sample <= 0 {
+		sample = 1
+	}
+	for {
+		old := h.ewmaNs.Load()
+		nw := sample
+		if old != 0 {
+			nw = old + (sample-old)/ewmaWeight
+			if nw == old && sample != old {
+				// Integer division underflow on tiny deltas: still move.
+				if sample > old {
+					nw = old + 1
+				} else {
+					nw = old - 1
+				}
+			}
+		}
+		if h.ewmaNs.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// WorkerHealth is the exported snapshot of one worker's health counters.
+type WorkerHealth struct {
+	Addr        string
+	InFlight    int64
+	Remote      int64
+	Failures    int64
+	Hedges      int64
+	LatencyEWMA time.Duration // 0 = no completed round-trip yet
+}

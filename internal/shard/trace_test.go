@@ -1,0 +1,93 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	dsd "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// TestStitchedTrace is the distributed-tracing proof obligation: a
+// sharded query run under a tracer must come back with ONE trace whose
+// id the coordinator minted, containing the worker's remotely-recorded
+// spans — marked with the worker's address and parented (transitively)
+// under the coordinator's dispatch spans, so the tree reads as a single
+// cross-process query.
+func TestStitchedTrace(t *testing.T) {
+	g := gen.MultiCommunity(6, 18, 8, 11, 12, 1)
+	gs := []*graph.Graph{g}
+	w := newWorkerServer(t, gs)
+
+	local := service.NewRegistry()
+	registerAll(t, local, gs)
+	coord := shard.NewCoordinator(local, shard.NewSet(w.URL), shard.Config{})
+
+	tr := obs.New()
+	ctx := obs.WithSpan(context.Background(), tr, nil)
+	res, err := coord.Solve(ctx, graphName(0), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShardRemote == 0 {
+		t.Fatalf("no component answered remotely: %+v", res.Stats)
+	}
+
+	trace := res.Stats.Trace
+	if trace == nil {
+		t.Fatal("sharded run carries no trace")
+	}
+	if trace.TraceID != tr.ID() {
+		t.Fatalf("trace id %q is not the coordinator's %q", trace.TraceID, tr.ID())
+	}
+	if n := len(trace.Named(obs.SpanSolve)); n != 1 {
+		t.Fatalf("want one solve span, got %d", n)
+	}
+	dispatches := trace.Named(obs.SpanDispatch)
+	if len(dispatches) == 0 {
+		t.Fatal("no dispatch spans recorded")
+	}
+
+	byID := make(map[string]obs.TraceSpan, len(trace.Spans))
+	for _, s := range trace.Spans {
+		byID[s.ID] = s
+	}
+	isDispatch := make(map[string]bool, len(dispatches))
+	for _, d := range dispatches {
+		isDispatch[d.ID] = true
+	}
+
+	var adopted int
+	for _, s := range trace.Spans {
+		if s.Shard == "" {
+			continue
+		}
+		adopted++
+		if s.Shard != w.URL {
+			t.Fatalf("adopted span %q marked with shard %q, want %q", s.ID, s.Shard, w.URL)
+		}
+		// Walk the parent chain: every worker span must hang (directly or
+		// through other worker spans) under a coordinator dispatch span.
+		cur := s
+		for hops := 0; ; hops++ {
+			if hops > len(trace.Spans) {
+				t.Fatalf("span %q: parent chain does not terminate", s.ID)
+			}
+			if isDispatch[cur.Parent] {
+				break
+			}
+			next, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %q (name %s): parent %q not in the stitched trace", s.ID, s.Name, cur.Parent)
+			}
+			cur = next
+		}
+	}
+	if adopted == 0 {
+		t.Fatal("remote answers arrived but no worker span was adopted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	dsd "repro"
+	"repro/internal/obs"
 	"repro/internal/service/wire"
 )
 
@@ -128,12 +129,20 @@ func (w *Worker) HandleComponent(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.searches.Add(1)
+	// Resume the coordinator's trace when the request carries one: the
+	// worker's phase spans parent under the coordinator's dispatch span
+	// and travel back in the response for adoption. An empty TraceID
+	// yields a nil tracer and the search runs untraced.
+	wtr := obs.Resume(req.TraceID, req.ParentSpan)
+	if wtr != nil {
+		ctx = obs.WithSpan(ctx, wtr, nil)
+	}
 	res, err := solver.SolveComponent(ctx, q, req.Component, req.KLocate, floor)
 	if err != nil {
 		wire.WriteError(rw, statusForShard(err), err)
 		return
 	}
-	wire.WriteJSON(rw, http.StatusOK, wire.ComponentResponse{
+	resp := wire.ComponentResponse{
 		Graph:           req.Graph,
 		SearchID:        req.SearchID,
 		DensityNum:      res.DensityNum,
@@ -144,7 +153,14 @@ func (w *Worker) HandleComponent(rw http.ResponseWriter, r *http.Request) {
 		PreSolveIters:   res.PreSolveIters,
 		PreSolveSkipped: res.PreSolveSkipped,
 		TotalMs:         float64(res.Elapsed) / float64(time.Millisecond),
-	})
+		FlowMs:          float64(res.FlowTime) / float64(time.Millisecond),
+		PreSolveMs:      float64(res.PreSolveTime) / float64(time.Millisecond),
+	}
+	if snap := wtr.Snapshot(); snap != nil {
+		resp.TraceID = snap.TraceID
+		resp.Spans = snap.Spans
+	}
+	wire.WriteJSON(rw, http.StatusOK, resp)
 }
 
 // HandleBound is POST /v3/bound. A bound for a search that already

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kcore"
 	"repro/internal/motif"
+	"repro/internal/obs"
 	"repro/internal/psicore"
 )
 
@@ -148,12 +149,27 @@ func (s *Solver) Solve(ctx context.Context, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Root the run's trace (a no-op chain when ctx carries no tracer; see
+	// internal/obs). Child phases — decompose, locate, per-component
+	// search, pre-solve, flow — attach under this span, and the finished
+	// tree rides out on Stats.Trace.
+	tr, parent := obs.FromContext(ctx)
+	sp := tr.Start(obs.SpanSolve, parent)
+	if sp != nil {
+		sp.SetAttr("algo", string(nq.Algo))
+		sp.SetAttr("psi", o.Name())
+		ctx = obs.WithSpan(ctx, tr, sp)
+	}
 	start := time.Now()
 	res, err := s.dispatch(ctx, nq, o)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.Total = time.Since(start)
+	if tr != nil {
+		res.Stats.Trace = tr.Snapshot()
+	}
 	return res, nil
 }
 
@@ -168,7 +184,12 @@ func (s *Solver) dispatch(ctx context.Context, q Query, o motif.Oracle) (*Result
 				workers = 1
 			}
 			decStart := time.Now()
+			dsp := obs.StartFromContext(ctx, obs.SpanDecompose)
 			dec, reused, err := st.decomposition(ctx, s.g, workers)
+			if reused {
+				dsp.SetAttr("reused", "true")
+			}
+			dsp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -287,6 +308,14 @@ func stampDecompose(res *Result, reused bool, d time.Duration) {
 // its goroutine, and tests assert the counter advances instead of
 // guessing at goroutine counts.
 var awaitOrphans atomic.Int64
+
+// AwaitOrphans reports how many abandoned computations (runs whose
+// caller's ctx ended first; see Solve's cancellation contract) have run
+// to completion and been dropped, process-wide. The dsdd /v1/stats
+// endpoint exposes it: a steadily climbing value under load means
+// callers are timing out on non-preemptible algorithms and the engine is
+// paying for answers nobody receives.
+func AwaitOrphans() int64 { return awaitOrphans.Load() }
 
 // await runs fn on its own goroutine and returns its result, unless ctx
 // ends first, in which case ctx.Err() wins and fn's eventual result is
