@@ -3,8 +3,8 @@
 # before pushing and the gates cannot surprise you.
 
 GO ?= go
-BENCH_OUT ?= BENCH_6.json
-BENCH_PREV ?= BENCH_5.json
+BENCH_OUT ?= BENCH_7.json
+BENCH_PREV ?= BENCH_6.json
 
 .PHONY: check fmt vet build test race bench bench-compare api e2e-shard obs clean
 

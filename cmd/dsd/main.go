@@ -7,7 +7,8 @@
 //
 //	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-workers 4]
 //	    [-iterative 16] [-anchors 1,2] [-at-least 5] [-eps 0.25]
-//	    [-print] [-json] [-log-level info] [-log-format text]
+//	    [-mutate batch.txt] [-print] [-json] [-log-level info]
+//	    [-log-format text]
 //
 // The motif is any paper pattern name ("edge", "triangle", "4-clique",
 // "2-star", "c3-star", "diamond", "2-triangle", "3-triangle", "basket").
@@ -16,6 +17,13 @@
 // the variant flags (core-exact by default). With -json the result is
 // emitted in the dsdd HTTP API's v2 encoding (a wire.QueryV2Response,
 // including the run's QueryStats).
+//
+// With -mutate the CLI demonstrates the mutable-graph path: it solves on
+// the loaded graph, applies the edge-mutation batch from the file ("+ u v"
+// inserts, "- u v" deletes, one per line; # comments), and solves again
+// on the new version — warm-started from the first solve's memo, so the
+// second run skips the Ψ-instance enumeration. Incompatible with
+// -shard-addrs.
 //
 // With -shard-addrs the CLI becomes a one-shot sharding coordinator: the
 // graph is registered on each listed dsdd worker under a content-derived
@@ -53,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsd", flag.ContinueOnError)
 	var (
 		graphPath  = fs.String("graph", "", "edge-list file (required)")
+		mutatePath = fs.String("mutate", "", "edge-mutation file ('+ u v' inserts, '- u v' deletes); apply after the first solve and solve again on the new version")
 		printVerts = fs.Bool("print", false, "print the vertex set of the answer")
 		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd v2 API encoding")
 		logLevel   = fs.String("log-level", "info", "minimum log level (debug|info|warn|error)")
@@ -92,22 +101,74 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	logger.Debug("loaded graph", "path", *graphPath, "n", g.N(), "m", g.M())
+	sharded := len(q.ShardAddrs) > 0 && q.Shards >= 0
+	if *mutatePath != "" && sharded {
+		return fmt.Errorf("-mutate is incompatible with -shard-addrs: mutations apply to the local solver")
+	}
 	var res *dsd.Result
-	if len(q.ShardAddrs) > 0 && q.Shards >= 0 {
+	var solver *dsd.Solver
+	if sharded {
 		// Shards < 0 is the documented force-local opt-out; it wins even
 		// when worker addresses are listed.
 		res, err = solveSharded(context.Background(), *graphPath, g, q)
 	} else {
-		res, err = dsd.NewSolver(g).Solve(context.Background(), q)
+		solver = dsd.NewSolver(g)
+		res, err = solver.Solve(context.Background(), q)
 	}
 	if err != nil {
 		return err
 	}
+	if err := emit(out, *graphPath, g, q, res, *asJSON, *printVerts); err != nil {
+		return err
+	}
+	if *mutatePath == "" {
+		return nil
+	}
+
+	// Mutable-graph path: apply the batch as a new version and solve
+	// again. The second solve warm-starts from the first run's memo —
+	// the incrementally maintained Ψ-degree vector and the carried
+	// witness — which is the whole point of mutating instead of
+	// reloading.
+	m, err := loadMutation(*mutatePath)
+	if err != nil {
+		return err
+	}
+	d, err := solver.Mutate(context.Background(), m)
+	if err != nil {
+		return err
+	}
+	logger.Debug("applied mutation batch", "path", *mutatePath, "version", int64(d.Version))
 	if *asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
+		if err := enc.Encode(wire.MutateResponse{
+			Graph: *graphPath, Version: int64(d.Version),
+			Inserted: d.Inserted, Deleted: d.Deleted,
+			SkippedInserts: d.SkippedInserts, SkippedDeletes: d.SkippedDeletes,
+			NewVertices: d.NewVertices, N: d.N, M: d.M,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "mutation: +%d -%d edges (skipped %d inserts, %d deletes) -> version %d  n=%d m=%d\n",
+			d.Inserted, d.Deleted, d.SkippedInserts, d.SkippedDeletes, d.Version, d.N, d.M)
+	}
+	res, err = solver.Solve(context.Background(), q)
+	if err != nil {
+		return err
+	}
+	return emit(out, *graphPath, solver.Graph(), q, res, *asJSON, *printVerts)
+}
+
+// emit prints one solve's answer, as text or in the dsdd v2 JSON
+// encoding.
+func emit(out io.Writer, graphName string, g *dsd.Graph, q dsd.Query, res *dsd.Result, asJSON, printVerts bool) error {
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
 		return enc.Encode(wire.QueryV2Response{
-			Graph:  *graphPath,
+			Graph:  graphName,
 			Query:  wire.FromQuery(q),
 			Result: wire.FromResult(res),
 			Stats:  wire.FromQueryStats(res.Stats),
@@ -117,12 +178,43 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "motif: %s  algorithm: %s\n", q.Psi(), q.Algo)
 	fmt.Fprintf(out, "densest subgraph: |V|=%d  µ=%d  ρ=%.6f  time=%s\n",
 		len(res.Vertices), res.Mu, res.Density.Float(), res.Stats.Total)
-	if *printVerts {
+	if printVerts {
 		for _, v := range res.Vertices {
 			fmt.Fprintln(out, v)
 		}
 	}
 	return nil
+}
+
+// loadMutation parses an edge-mutation file: one operation per line,
+// "+ u v" inserts and "- u v" deletes; blank lines and # comments are
+// skipped.
+func loadMutation(path string) (dsd.Mutation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return dsd.Mutation{}, err
+	}
+	var m dsd.Mutation
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 || (f[0] != "+" && f[0] != "-") {
+			return dsd.Mutation{}, fmt.Errorf("%s:%d: want '+ u v' or '- u v', got %q", path, i+1, line)
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(f[1]+" "+f[2], "%d %d", &u, &v); err != nil {
+			return dsd.Mutation{}, fmt.Errorf("%s:%d: bad vertex ids in %q: %v", path, i+1, line, err)
+		}
+		if f[0] == "+" {
+			m.Insert = append(m.Insert, [2]int{u, v})
+		} else {
+			m.Delete = append(m.Delete, [2]int{u, v})
+		}
+	}
+	return m, nil
 }
 
 // solveSharded runs the query as a one-shot coordinator over the workers

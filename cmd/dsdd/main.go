@@ -7,6 +7,7 @@
 //
 //	dsdd [-addr :8080] [-workers 8] [-algo-workers 2] [-algo-iterative 16]
 //	     [-timeout 30s] [-graph name=edges.txt ...] [-allow-paths]
+//	     [-retain 8]
 //	     [-shards http://w1:8080,http://w2:8080] [-shard-hedge 3s]
 //	     [-shard-timeout 0] [-shard-of http://coordinator:8080]
 //	     [-advertise http://host:port]
@@ -14,9 +15,12 @@
 //	     [-trace=true] [-pprof]
 //
 // API: POST /v2/query (any dsd.Query), POST /v1/query (legacy triple),
-// GET/POST /v1/graphs, GET /v1/stats, GET /metrics (Prometheus text
-// exposition), GET /healthz, plus the wire v3 sharding protocol
-// (POST /v3/component, POST /v3/bound, GET/POST /v3/shards).
+// GET/POST /v1/graphs, GET/DELETE /v1/graphs/{g} (per-graph detail /
+// eviction), POST /v1/graphs/{g}/edges (edge-mutation batches producing
+// new graph versions; -retain bounds how many stay addressable),
+// GET /v1/stats, GET /metrics (Prometheus text exposition),
+// GET /healthz, plus the wire v3 sharding protocol (POST /v3/component,
+// POST /v3/bound, GET/POST /v3/shards).
 //
 // Observability: every computed query runs under a phase-level trace
 // that returns in the response's stats (disable with -trace=false);
@@ -163,6 +167,7 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 		advertise    = fs.String("advertise", "", "base URL to advertise to the coordinator (default: the resolved listen address)")
 		logLevel     = fs.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logFormat    = fs.String("log-format", "text", "log encoding (text|json)")
+		retain       = fs.Int("retain", 0, "graph versions each mutable graph keeps addressable for pinned queries (0 = library default)")
 		slowQuery    = fs.Duration("slow-query", 0, "log any computation taking at least this long, with its phase breakdown (0 = off)")
 		trace        = fs.Bool("trace", true, "attach a phase-level trace to every computed query's stats")
 		pprofFlag    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -194,6 +199,7 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 		}
 	}
 	reg := service.NewRegistry()
+	reg.SetRetain(*retain)
 	for _, spec := range graphs {
 		name, path, _ := strings.Cut(spec, "=")
 		if _, err := reg.RegisterFile(name, path); err != nil {

@@ -58,14 +58,18 @@ func (s *Solver) PlanComponents(ctx context.Context, q Query) (*ComponentPlan, e
 	if nq.Algo != AlgoCoreExact {
 		return nil, fmt.Errorf("dsd: component plans exist only for %s queries (got %s)", AlgoCoreExact, nq.Algo)
 	}
-	st := s.psiFor(o)
+	vs, err := s.state(nq.Version)
+	if err != nil {
+		return nil, err
+	}
+	st := vs.psiFor(o)
 	workers := nq.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	decStart := time.Now()
 	dsp := obs.StartFromContext(ctx, obs.SpanDecompose)
-	dec, reused, err := st.decomposition(ctx, s.g, workers)
+	dec, reused, err := st.decomposition(ctx, vs.g, workers)
 	if reused {
 		dsp.SetAttr("reused", "true")
 	}
@@ -77,7 +81,13 @@ func (s *Solver) PlanComponents(ctx context.Context, q Query) (*ComponentPlan, e
 	if reused {
 		decTime = 0
 	}
-	plan, err := core.PlanCoreExact(ctx, s.g, o, nq.coreOptions(), dec)
+	opts := nq.coreOptions()
+	if len(opts.SeedWitness) == 0 {
+		// Same warm start Solve's core-exact path gets: the carried
+		// witness's density is re-evaluated by PlanCoreExact before use.
+		opts.SeedWitness = st.seedWitness()
+	}
+	plan, err := core.PlanCoreExact(ctx, vs.g, o, opts, dec)
 	if err != nil {
 		return nil, err
 	}
@@ -166,12 +176,16 @@ func (s *Solver) SolveComponent(ctx context.Context, q Query, comp []int32, kLoc
 	if floor == nil {
 		floor = NewComponentFloor(0, 0)
 	}
-	st := s.psiFor(o)
-	dec, _, err := st.decomposition(ctx, s.g, 1)
+	vs, err := s.state(nq.Version)
 	if err != nil {
 		return nil, err
 	}
-	out, err := core.SearchComponent(ctx, s.g, o, dec, nq.coreOptions(), floor.cell, comp, kLocate)
+	st := vs.psiFor(o)
+	dec, _, err := st.decomposition(ctx, vs.g, 1)
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.SearchComponent(ctx, vs.g, o, dec, nq.coreOptions(), floor.cell, comp, kLocate)
 	if err != nil {
 		return nil, err
 	}
@@ -194,9 +208,20 @@ func (s *Solver) SolveComponent(ctx context.Context, q Query, comp []int32, kLoc
 // certificate from the graph instead of trusting wire-carried numbers.
 // A nil/empty vs yields the empty result.
 func (s *Solver) EvaluateWitness(q Query, vs []int32) (*Result, error) {
-	_, o, err := q.normalize()
+	nq, o, err := q.normalize()
 	if err != nil {
 		return nil, err
 	}
-	return core.Evaluate(s.g, o, vs), nil
+	st, err := s.state(nq.Version)
+	if err != nil {
+		return nil, err
+	}
+	res := core.Evaluate(st.g, o, vs)
+	if nq.Algo == AlgoCoreExact {
+		// The coordinator's merged answer is this version's best known
+		// witness — carry it for the post-mutation warm start, exactly as
+		// the in-process core-exact path does.
+		st.psiFor(o).recordWitness(res.Vertices)
+	}
+	return res, nil
 }

@@ -53,6 +53,26 @@ type Options struct {
 	// searches share a mutex-protected monotone lower bound, so sharing
 	// only ever prunes work, never answers.
 	Workers int
+	// SeedWitness is an optional candidate witness — typically the answer
+	// of a previous solve on a slightly different graph (see dsd.Solver's
+	// mutation warm start). Its exact density on THIS graph is evaluated
+	// during planning and adopted as the starting (lower, witness) pair
+	// only if it beats the location bound, so a stale or bogus seed can
+	// only fail to help, never change the answer: exactness is
+	// unconditional. Vertex ids outside the graph invalidate the seed.
+	SeedWitness []int32
+	// DecUpperBound marks the supplied decomposition's core numbers as
+	// pointwise UPPER bounds on the true core numbers rather than exact
+	// values — typically a pre-mutation peel carried across an edge batch
+	// (psicore.UpperBound). Location and every core shrink stay sound,
+	// because filtering by an over-estimate retains a superset of every
+	// true core, and a component's max over-estimate still dominates its
+	// optimum density; only the residual-density tracking is meaningless,
+	// so the initial (lower, witness) pair comes from re-evaluated
+	// subgraphs (the kmax-core vertices and SeedWitness), exactly as with
+	// Pruning1 off. The returned density is identical either way — the
+	// located cores are merely no smaller than with exact numbers.
+	DecUpperBound bool
 }
 
 // DefaultIterativeBudget is DefaultOptions' Greed++ pre-solve budget. An
@@ -207,16 +227,30 @@ func PlanCoreExact(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Opt
 		witness []int32    // current best subgraph, original ids
 		lower   rational.R // exact density of witness
 	)
-	if opts.Pruning1 {
+	if opts.Pruning1 && !opts.DecUpperBound {
 		witness = dec.BestResidualVertices()
 		lower = dec.BestResidual
 	} else {
+		// With Pruning1 off there is no residual tracking to read; with
+		// DecUpperBound the tracking exists but certifies the WRONG graph
+		// (pre-mutation), so trusting it could over-prune. Either way the
+		// kmax-core vertices re-evaluated on THIS graph give a certified
+		// pair.
 		witness = dec.KMaxCoreVertices()
 		lower, _ = densityOf(g, o, witness)
 		// Theorem 1 guarantees ρ(R_kmax) ≥ kmax/|VΨ|, so the witness's
 		// exact density already dominates the kmax/p bound: witness and
 		// lower stay consistent by construction (asserted by
 		// TestTheorem1BoundImpliedByKMaxCore).
+	}
+	if len(opts.SeedWitness) > 0 && witnessValid(g, opts.SeedWitness) {
+		// Warm-start seed: never trusted, always re-evaluated. The seed's
+		// exact density on this graph either raises the bound (a denser
+		// start, fewer flow solves) or is discarded.
+		if d, mu := densityOf(g, o, opts.SeedWitness); mu > 0 && d.Greater(lower) {
+			lower = d
+			witness = append([]int32(nil), opts.SeedWitness...)
+		}
 	}
 	kLocate := lower.Ceil()
 	coreVerts := dec.CoreVertices(kLocate)

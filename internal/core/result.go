@@ -52,6 +52,11 @@ type Stats struct {
 	// Ψ-degree vector via a *WithState entrypoint instead of enumerating
 	// instances itself.
 	ReusedDegrees bool
+	// BoundedCores reports that the run located on upper-bound core
+	// numbers carried across a mutation (Options.DecUpperBound) instead
+	// of an exact peel of its own graph — the hot path of a mutated
+	// dsd.Solver, which skips both the Ψ-instance counting and the peel.
+	BoundedCores bool
 	// Sharded-execution counters, set by the internal/shard coordinator
 	// (all zero on in-process runs). ShardComponents counts the planned
 	// component searches; ShardRemote those answered by a remote shard
@@ -86,6 +91,20 @@ func evaluate(g *graph.Graph, o motif.Oracle, vs []int32) *Result {
 		Mu:       mu,
 		Density:  rational.New(mu, int64(len(sub.Orig))),
 	}
+}
+
+// witnessValid reports whether every id in vs is a vertex of g — the
+// guard that lets PlanCoreExact evaluate a caller-supplied seed witness
+// (possibly from an older graph version) without panicking on out-of-
+// range ids. Duplicate ids are harmless: Induced de-duplicates.
+func witnessValid(g *graph.Graph, vs []int32) bool {
+	n := int32(g.N())
+	for _, v := range vs {
+		if v < 0 || v >= n {
+			return false
+		}
+	}
+	return true
 }
 
 // densityOf computes the exact Ψ-density of the subgraph induced by vs.

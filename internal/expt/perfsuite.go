@@ -95,6 +95,17 @@ type BenchCase struct {
 	// coordinator fanning the located core's components across N loopback
 	// worker dsdd servers (internal/shard). One entry per shard count.
 	Sharded []ShardArm `json:"sharded,omitempty"`
+	// The mutate arm: an edge-mutation batch applied to a warm Solver
+	// (incremental memo repair + warm re-solve, MutateIncNsOp) against
+	// rebuilding the mutated graph from its edge list and solving cold
+	// (MutateColdNsOp). MutateMatch gates the two densities bit-identical;
+	// the validator additionally requires incremental < cold wall clock on
+	// the dedicated "mutate-" case, where Ψ-instance enumeration dominates
+	// the cold path.
+	MutateIncNsOp  int64   `json:"mutate_inc_ns_op,omitempty"`
+	MutateColdNsOp int64   `json:"mutate_cold_ns_op,omitempty"`
+	MutateSpeedup  float64 `json:"mutate_speedup,omitempty"`
+	MutateMatch    *bool   `json:"mutate_match,omitempty"`
 	// The obs arm: the iterative configuration re-run under a live
 	// obs.Tracer, so every phase span is recorded. ObsNsOp against
 	// IterativeNsOp is the tracing overhead the suite gates; ObsMatch that
@@ -157,6 +168,68 @@ func warmSolverArm(g *graph.Graph, h, iterBudget, reps int) (cold, warm int64, c
 		warmRes, _ = s.Solve(context.Background(), q)
 	})
 	return cold, warm, coldRes, warmRes
+}
+
+// mutateBatch builds a deterministic edge-mutation batch against g:
+// every 50th edge deleted, plus a handful of inserts spanning vertices
+// that are (mostly) not adjacent — enough change to force real memo
+// repair without redefining the instance.
+func mutateBatch(g *graph.Graph) dsd.Mutation {
+	var m dsd.Mutation
+	i := 0
+	g.Edges(func(u, v int) {
+		if i%50 == 0 {
+			m.Delete = append(m.Delete, [2]int{u, v})
+		}
+		i++
+	})
+	n := g.N()
+	for j := 0; j < 10; j++ {
+		m.Insert = append(m.Insert, [2]int{j, n/2 + 3*j})
+	}
+	return m
+}
+
+// mutateArm measures incremental mutate-then-solve against cold
+// rebuild-then-solve. The incremental path is what a mutable dsdd graph
+// does on POST /v1/graphs/{g}/edges: apply the batch to the warm Solver
+// (per-edge k-core repair and Ψ-degree deltas) and answer on the new
+// head, where CoreExact skips the Ψ-instance counting AND the peel —
+// it locates on the parent version's core numbers carried as upper
+// bounds (psicore.UpperBound) and warm-starts from the carried witness.
+// The cold path is the alternative the arm exists to beat: rebuild the
+// graph from the mutated edge list and solve on a fresh Solver, paying
+// the full count + peel.
+func mutateArm(g *graph.Graph, h, iterBudget, reps int) (inc, cold int64, incRes, coldRes *core.Result) {
+	q := dsd.Query{H: h, Iterative: iterBudget}
+	batch := mutateBatch(g)
+	// Each rep mutates its own pre-warmed Solver (a mutation is not
+	// repeatable on one solver), and only Mutate + re-solve are timed —
+	// the warm state is what the server already holds when a batch lands.
+	var warm []*dsd.Solver
+	for i := 0; i < reps; i++ {
+		s := dsd.NewSolver(g)
+		s.Solve(context.Background(), q)
+		warm = append(warm, s)
+	}
+	for _, s := range warm {
+		start := time.Now()
+		s.Mutate(context.Background(), batch)
+		incRes, _ = s.Solve(context.Background(), q)
+		if d := time.Since(start).Nanoseconds(); inc == 0 || d < inc {
+			inc = d
+		}
+	}
+	// The mutated edge list, as a re-loading server would hold it.
+	mutated := warm[0].Graph()
+	var edges [][2]int
+	mutated.Edges(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	n := mutated.N()
+	cold = bestOf(reps, func() {
+		ng := graph.FromEdges(n, edges)
+		coldRes, _ = dsd.NewSolver(ng).Solve(context.Background(), q)
+	})
+	return inc, cold, incRes, coldRes
 }
 
 // bestOf times fn over reps runs and returns the fastest, the standard
@@ -324,6 +397,34 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 		})
 	}
 
+	// The dedicated mutate stress case carrying the wall-clock gate:
+	// 4-clique motif on the multi-community instance, where Ψ-instance
+	// enumeration dominates a cold solve, so incremental repair
+	// (per-edge deltas + seeded re-peel + carried witness) beats
+	// rebuild-then-solve with real margin. The gate also requires the two
+	// densities bit-identical — the equivalence criterion of the mutable
+	// graph subsystem, measured where it is cheapest to violate.
+	{
+		inc, cold, incRes, coldRes := mutateArm(multi, 4, iterBudget, reps)
+		match := incRes != nil && coldRes != nil &&
+			incRes.Density.Cmp(coldRes.Density) == 0 &&
+			incRes.Density.Num == coldRes.Density.Num &&
+			incRes.Density.Den == coldRes.Density.Den
+		rep.Cases = append(rep.Cases, BenchCase{
+			Name:           "mutate-multicommunity-4clique",
+			Algo:           "core-exact",
+			Motif:          motif.Clique{H: 4}.Name(),
+			N:              multi.N(),
+			M:              multi.M(),
+			SerialNsOp:     cold,
+			MutateIncNsOp:  inc,
+			MutateColdNsOp: cold,
+			MutateSpeedup:  float64(cold) / float64(inc),
+			MutateMatch:    &match,
+			Density:        coldRes.Density.Float(),
+		})
+	}
+
 	// The sharded arm: the multi-component stress instance distributed
 	// across {1,2,4} loopback worker dsdd servers by a coordinator. The
 	// wall clock carries real HTTP round-trips (informational — loopback
@@ -431,6 +532,10 @@ func RunPerfSuite(cfg Config) error {
 				ok = ok && *c.IterativeMatch
 			}
 			match = fmt.Sprintf("%v", ok)
+		}
+		if c.MutateIncNsOp > 0 {
+			warm = fmt.Sprintf("%s (%.2fx)", secs(time.Duration(c.MutateIncNsOp)), c.MutateSpeedup)
+			match = fmt.Sprintf("%v", *c.MutateMatch)
 		}
 		t.row(c.Name, c.Algo, c.Motif, secs(time.Duration(c.SerialNsOp)), par, speed, iter, solves, warm, match)
 	}
@@ -546,6 +651,23 @@ func ValidateBenchReport(data []byte) error {
 			}
 			if !*a.DensityMatch {
 				return fmt.Errorf("bench report: case %q: sharded density (%d shards) does not match serial", c.Name, a.Shards)
+			}
+		}
+		if c.MutateIncNsOp > 0 {
+			if c.MutateColdNsOp <= 0 {
+				return fmt.Errorf("bench report: case %q: mutate arm without mutate_cold_ns_op", c.Name)
+			}
+			// The equivalence gate: mutate-then-solve and rebuild-then-solve
+			// must agree bit-exactly.
+			if c.MutateMatch == nil || !*c.MutateMatch {
+				return fmt.Errorf("bench report: case %q: incremental mutate density does not match cold rebuild", c.Name)
+			}
+			// Wall clock is gated on the dedicated mutate case, where the
+			// cold path's Ψ-instance enumeration gives a deterministic
+			// margin.
+			if strings.HasPrefix(c.Name, "mutate-") && c.MutateIncNsOp >= c.MutateColdNsOp {
+				return fmt.Errorf("bench report: case %q: incremental mutate (%dns) not faster than cold rebuild (%dns)",
+					c.Name, c.MutateIncNsOp, c.MutateColdNsOp)
 			}
 		}
 		if c.WarmNsOp > 0 {

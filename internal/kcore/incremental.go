@@ -1,0 +1,165 @@
+// Incremental maintenance of classical core numbers under single-edge
+// insertion and deletion (the TRAVERSAL/subcore family of algorithms:
+// Sarıyüce et al., Li et al.). One edge changes core numbers by at most
+// one, and only inside the subcore of r = min(core(u), core(v)) — the
+// vertices with core number exactly r reachable from the endpoints
+// through core-r paths — so each repair touches the affected shell
+// instead of re-peeling the graph.
+package kcore
+
+import "repro/internal/graph"
+
+// InsertEdge repairs core numbers in place after the undirected edge
+// {u, v} has been inserted into g (g must already contain it). core must
+// hold the exact core numbers of the pre-insertion graph, with
+// len(core) == g.N() — vertices new to this insertion at 0. After the
+// call core holds the exact core numbers of g; the maintained values are
+// bit-identical to Decompose(g).Core (the peel's tie-breaking cannot
+// change core numbers, only the order they are discovered in).
+func InsertEdge(g *graph.Graph, core []int32, u, v int) {
+	r := core[u]
+	if core[v] < r {
+		r = core[v]
+	}
+	cand, inCand := subcore(g, core, r, u, v)
+	if len(cand) == 0 {
+		return
+	}
+	// cd[w] counts the neighbors that could support w in an (r+1)-core:
+	// those already in a deeper core, plus un-evicted candidates. (Every
+	// core-r neighbor of a candidate is itself a candidate — the subcore
+	// is closed under core-r adjacency — so non-candidate core-r
+	// neighbors cannot exist.)
+	cd := make(map[int32]int32, len(cand))
+	for _, w := range cand {
+		c := int32(0)
+		for _, x := range g.Neighbors(int(w)) {
+			if core[x] > r || inCand[x] {
+				c++
+			}
+		}
+		cd[w] = c
+	}
+	evicted := make(map[int32]bool, len(cand))
+	queue := make([]int32, 0, len(cand))
+	for _, w := range cand {
+		if cd[w] <= r {
+			evicted[w] = true
+			queue = append(queue, w)
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, x := range g.Neighbors(int(w)) {
+			if !inCand[x] || evicted[x] {
+				continue
+			}
+			cd[x]--
+			if cd[x] <= r {
+				evicted[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	for _, w := range cand {
+		if !evicted[w] {
+			core[w] = r + 1
+		}
+	}
+}
+
+// DeleteEdge repairs core numbers in place after the undirected edge
+// {u, v} has been removed from g (g must no longer contain it). core must
+// hold the exact core numbers of the pre-deletion graph; after the call
+// it holds the exact core numbers of g.
+func DeleteEdge(g *graph.Graph, core []int32, u, v int) {
+	r := core[u]
+	if core[v] < r {
+		r = core[v]
+	}
+	if r == 0 {
+		return
+	}
+	cand, inCand := subcore(g, core, r, u, v)
+	if len(cand) == 0 {
+		return
+	}
+	// s[w] counts the neighbors still able to keep w at core r: those in
+	// core ≥ r that have not dropped. Deletion lowers cores by at most
+	// one, so a drop cascades only through the candidate set.
+	s := make(map[int32]int32, len(cand))
+	for _, w := range cand {
+		c := int32(0)
+		for _, x := range g.Neighbors(int(w)) {
+			if core[x] >= r {
+				c++
+			}
+		}
+		s[w] = c
+	}
+	dropped := make(map[int32]bool, len(cand))
+	queue := make([]int32, 0, len(cand))
+	for _, w := range cand {
+		if s[w] < r {
+			dropped[w] = true
+			queue = append(queue, w)
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, x := range g.Neighbors(int(w)) {
+			if !inCand[x] || dropped[x] {
+				continue
+			}
+			s[x]--
+			if s[x] < r {
+				dropped[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	for w := range dropped {
+		core[w] = r - 1
+	}
+}
+
+// subcore collects the vertices with core number exactly r reachable
+// from the endpoints u, v through core-r paths in g — the only vertices
+// whose core number one edge at level r can change.
+func subcore(g *graph.Graph, core []int32, r int32, u, v int) ([]int32, map[int32]bool) {
+	inCand := make(map[int32]bool)
+	var cand, frontier []int32
+	for _, ep := range [2]int{u, v} {
+		if ep < len(core) && core[ep] == r && !inCand[int32(ep)] {
+			inCand[int32(ep)] = true
+			cand = append(cand, int32(ep))
+			frontier = append(frontier, int32(ep))
+		}
+	}
+	for len(frontier) > 0 {
+		w := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, x := range g.Neighbors(int(w)) {
+			if core[x] == r && !inCand[x] {
+				inCand[x] = true
+				cand = append(cand, x)
+				frontier = append(frontier, x)
+			}
+		}
+	}
+	return cand, inCand
+}
+
+// MaxCore returns the maximum core number in core (0 for an empty
+// graph) — how a batch of incremental repairs refreshes KMax.
+func MaxCore(core []int32) int32 {
+	var k int32
+	for _, c := range core {
+		if c > k {
+			k = c
+		}
+	}
+	return k
+}

@@ -1,0 +1,94 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func coresEqual(t *testing.T, got, want []int32, step string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len(core) = %d, want %d", step, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: core[%d] = %d, want %d\ngot  %v\nwant %v", step, v, got[v], want[v], got, want)
+		}
+	}
+}
+
+func TestInsertEdgeFigure3(t *testing.T) {
+	g := figure3()
+	core := append([]int32(nil), Decompose(g).Core...)
+	// Insert E-F's missing support: {2,3,4,5} already form a cycle; adding
+	// {2,4} closes enough triangles to lift E and F into the 3-core? Check
+	// against a full re-peel rather than hand-derived numbers.
+	mt := graph.NewMutator(g)
+	mt.Insert(2, 4)
+	ng := mt.Freeze()
+	InsertEdge(ng, core, 2, 4)
+	coresEqual(t, core, Decompose(ng).Core, "insert {2,4}")
+}
+
+func TestDeleteEdgeFigure3(t *testing.T) {
+	g := figure3()
+	core := append([]int32(nil), Decompose(g).Core...)
+	mt := graph.NewMutator(g)
+	mt.Delete(0, 1)
+	ng := mt.Freeze()
+	DeleteEdge(ng, core, 0, 1)
+	coresEqual(t, core, Decompose(ng).Core, "delete {0,1}")
+}
+
+// TestIncrementalMatchesDecompose maintains core numbers through long
+// random insert/delete sequences and checks them against a full re-peel
+// after every operation — the maintained values must be bit-identical.
+func TestIncrementalMatchesDecompose(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.GNM(30, 60, seed)
+		core := append([]int32(nil), Decompose(g).Core...)
+		mt := graph.NewMutator(g)
+		for step := 0; step < 150; step++ {
+			u, v := rng.Intn(32), rng.Intn(32)
+			if u == v {
+				continue
+			}
+			wg := mt.Graph()
+			if rng.Intn(5) < 3 { // bias toward insertion so the graph stays dense
+				if !mt.Insert(u, v) {
+					continue
+				}
+				wg = mt.Graph()
+				for len(core) < wg.N() {
+					core = append(core, 0)
+				}
+				InsertEdge(wg, core, u, v)
+			} else {
+				if u >= wg.N() || v >= wg.N() || !mt.Delete(u, v) {
+					continue
+				}
+				wg = mt.Graph()
+				DeleteEdge(wg, core, u, v)
+			}
+			coresEqual(t, core, Decompose(wg).Core, "seed/step")
+		}
+	}
+}
+
+func TestMaxCore(t *testing.T) {
+	if got := MaxCore(nil); got != 0 {
+		t.Fatalf("MaxCore(nil) = %d, want 0", got)
+	}
+	if got := MaxCore([]int32{1, 3, 0, 2}); got != 3 {
+		t.Fatalf("MaxCore = %d, want 3", got)
+	}
+	g := figure3()
+	d := Decompose(g)
+	if got := MaxCore(d.Core); got != d.KMax {
+		t.Fatalf("MaxCore = %d, want KMax = %d", got, d.KMax)
+	}
+}

@@ -40,6 +40,9 @@ const (
 	// SpanDispatch is the coordinator's per-component dispatch: the time
 	// from handing a component to a lane until its answer merged.
 	SpanDispatch = "dispatch"
+	// SpanMutate is one dsd.Solver.Apply edge-mutation batch: copy-on-write
+	// graph build plus incremental memo repair.
+	SpanMutate = "mutate"
 )
 
 // ctxKey carries the ambient (tracer, current span) scope.

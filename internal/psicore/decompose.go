@@ -62,8 +62,6 @@ const ctxCheckStride = 1024
 // polls ctx every ctxCheckStride removals and returns (nil, ctx.Err())
 // once it is cancelled. The seeding count itself is not interruptible.
 func DecomposeContext(ctx context.Context, g *graph.Graph, o motif.Oracle, workers int) (*Decomposition, error) {
-	n := g.N()
-	st := motif.NewState(g)
 	var (
 		total int64
 		deg   []int64
@@ -73,6 +71,26 @@ func DecomposeContext(ctx context.Context, g *graph.Graph, o motif.Oracle, worke
 	} else {
 		total, deg = o.CountAndDegrees(g)
 	}
+	return peel(ctx, g, o, total, deg)
+}
+
+// DecomposeSeeded is DecomposeContext with the Ψ-degree seeding supplied
+// by the caller instead of recomputed: total and deg must be exactly what
+// o.CountAndDegrees(g) would return — e.g. a degree vector maintained
+// incrementally across edge mutations (see dsd.Solver). The peel consumes
+// identical inputs, so the result is bit-identical to DecomposeContext's,
+// while the enumeration-heavy counting prefix — the dominant cost for
+// clique motifs — is skipped entirely. deg is only read.
+func DecomposeSeeded(ctx context.Context, g *graph.Graph, o motif.Oracle, total int64, deg []int64) (*Decomposition, error) {
+	return peel(ctx, g, o, total, append([]int64(nil), deg...))
+}
+
+// peel is the shared Algorithm-3 peel loop: it takes ownership of deg
+// (the bucket queue consumes it) and runs the removal order, core-number
+// assignment, and residual-density tracking.
+func peel(ctx context.Context, g *graph.Graph, o motif.Oracle, total int64, deg []int64) (*Decomposition, error) {
+	n := g.N()
+	st := motif.NewState(g)
 	q := bucketq.New(deg)
 	d := &Decomposition{
 		Core:           make([]int64, n),

@@ -1,0 +1,51 @@
+package psicore
+
+// UpperBound derives a Decomposition whose core numbers are pointwise
+// UPPER bounds on the true (k,Ψ)-core numbers of a mutated graph, from
+// the pre-mutation decomposition — without peeling the new graph.
+//
+// Validity: deleting edges only destroys Ψ-instances, so true core
+// numbers never rise past their pre-mutation values. Inserting edges can
+// raise them, but for any vertex v of the new graph,
+//
+//	core_new(v) ≤ core_old(v) + slack,
+//
+// where slack is the total number of Ψ-instances using at least one
+// inserted edge: take a subgraph S attaining core_new(v) and drop its
+// new vertices — every instance lost at a remaining vertex w either used
+// a new vertex (hence an inserted edge, new vertices having no others)
+// or an inserted edge directly, so the old Ψ-degree of w within S is at
+// least core_new(v) − slack, and S∩V_old certifies
+// core_old(v) ≥ core_new(v) − slack. Independently, a vertex's core
+// number never exceeds its whole-graph Ψ-degree, so the bound tightens
+// to min(core_old(v)+slack, deg(v)) — and vertices added by the batch,
+// which have no pre-mutation core number, are bounded by deg alone.
+//
+// deg must be the new graph's exact whole-graph Ψ-degree vector and
+// total its exact instance count (the dsd.Solver maintains both
+// incrementally per edge). The result carries no peel order and no
+// residual-density tracking — its zero-valued BestResidual is NOT a
+// certified bound. Consumers must treat it purely as a locate bound
+// (core.Options.DecUpperBound); handing it to PeelApp-style readers
+// would be wrong.
+//
+// The bound composes: parent may itself be an UpperBound result, since
+// the argument above only needs parent.Core to dominate the pre-mutation
+// core numbers.
+func UpperBound(parent *Decomposition, slack, total int64, deg []int64) *Decomposition {
+	core := make([]int64, len(deg))
+	var kmax int64
+	for v := range deg {
+		c := deg[v]
+		if v < len(parent.Core) {
+			if b := parent.Core[v] + slack; b < c {
+				c = b
+			}
+		}
+		core[v] = c
+		if c > kmax {
+			kmax = c
+		}
+	}
+	return &Decomposition{Core: core, KMax: kmax, TotalInstances: total}
+}

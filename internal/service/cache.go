@@ -7,12 +7,13 @@ import (
 	"repro/internal/core"
 )
 
-// Key identifies a query for caching: a registered graph name and the
-// canonical encoding of the query (dsd.Query.Key), which covers the
-// motif, algorithm, execution knobs, and every problem-variant parameter
-// — two queries differing in any field the algorithm consumes never
-// share an entry. Graph names are never re-bound (see Registry.Register),
-// so a key denotes one immutable computation.
+// Key identifies a query for caching: the graph entry's cache key
+// (name + registration ID, see GraphEntry.CacheKey — a re-registered
+// name can never serve the removed entry's results) and the canonical
+// encoding of the query (dsd.Query.Key), which covers the motif,
+// algorithm, execution knobs, every problem-variant parameter, and the
+// resolved graph version — so a key denotes one immutable computation
+// even on a mutable graph.
 type Key struct {
 	Graph string
 	Query string
@@ -76,6 +77,25 @@ func (e *cacheEntry) wait(ctx context.Context, shared bool) (*core.Result, bool,
 	case <-ctx.Done():
 		return nil, shared, ctx.Err()
 	}
+}
+
+// EvictGraph drops every entry (completed or in flight) whose Key.Graph
+// equals graphKey and returns how many were dropped — the DELETE-graph
+// path. In-flight leaders keep running and still answer their current
+// waiters; their result is simply never cached under the evicted key
+// again (the entry is already unlinked, so a later identical key starts
+// fresh).
+func (c *Cache) EvictGraph(graphKey string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k := range c.m {
+		if k.Graph == graphKey {
+			delete(c.m, k)
+			n++
+		}
+	}
+	return n
 }
 
 // Len returns the number of completed or in-flight entries.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"repro/internal/service/wire"
@@ -64,6 +65,34 @@ func (c *Client) register(ctx context.Context, req wire.RegisterRequest) (*wire.
 		return nil, err
 	}
 	return &info, nil
+}
+
+// Mutate applies an edge-mutation batch to a registered graph
+// (POST /v1/graphs/{name}/edges), returning the new graph version and
+// what changed.
+func (c *Client) Mutate(ctx context.Context, name string, req wire.MutateRequest) (*wire.MutateResponse, error) {
+	var resp wire.MutateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(name)+"/edges", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// GetGraph fetches one graph's lifecycle detail (GET /v1/graphs/{name}):
+// registered-time stats, current version with live counts, retained
+// versions.
+func (c *Client) GetGraph(ctx context.Context, name string) (*wire.GraphDetail, error) {
+	var detail wire.GraphDetail
+	if err := c.do(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(name), nil, &detail); err != nil {
+		return nil, err
+	}
+	return &detail, nil
+}
+
+// DeleteGraph unregisters a graph and evicts its cached results
+// (DELETE /v1/graphs/{name}).
+func (c *Client) DeleteGraph(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
 }
 
 // Graphs lists the registered graphs.

@@ -212,6 +212,28 @@ func (e *Engine) Resolve(q dsd.Query) (dsd.Query, error) {
 	return q.Normalized()
 }
 
+// ResolveFor is Resolve against a specific registered graph: on top of
+// the engine defaults it resolves Version 0 (the floating "current
+// head") to the graph's concrete head version at admission time. The
+// pinned version is what the cache keys on and what the response echoes,
+// so a query admitted before a mutation is answered — and cached — on
+// the pre-mutation version even if the head advances mid-flight, and two
+// queries around a mutation can never share a cache entry.
+func (e *Engine) ResolveFor(graphName string, q dsd.Query) (dsd.Query, error) {
+	entry, ok := e.reg.Get(graphName)
+	if !ok {
+		return dsd.Query{}, fmt.Errorf("service: unknown graph %q", graphName)
+	}
+	nq, err := e.Resolve(q)
+	if err != nil {
+		return dsd.Query{}, err
+	}
+	if nq.Version == 0 {
+		nq.Version = entry.Solver.Version()
+	}
+	return nq, nil
+}
+
 // solve is the shared pipeline behind Solve and Query (counters are the
 // callers' concern): resolve the graph, apply engine defaults, normalize,
 // and run through the single-flight cache on the canonical query key.
@@ -252,6 +274,12 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 	if err != nil {
 		return nil, false, err
 	}
+	if nq.Version == 0 {
+		// Pin the floating head to a concrete version (see ResolveFor):
+		// from here on the computation, its cache entry, and its answer
+		// all name one immutable graph version.
+		nq.Version = entry.Solver.Version()
+	}
 	alabel = string(nq.Algo)
 
 	waitCtx := ctx
@@ -261,7 +289,7 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 		defer cancel()
 	}
 
-	key := Key{Graph: graphName, Query: nq.Key()}
+	key := Key{Graph: entry.CacheKey(), Query: nq.Key()}
 	res, cached, err = e.cache.Do(waitCtx, key, func() (*core.Result, error) {
 		// The computation is deliberately detached from the submitting
 		// request's ctx: under single flight it serves every waiter on
@@ -357,6 +385,75 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 		e.hits.Add(1)
 	}
 	return res, cached, err
+}
+
+// Mutate applies an edge-mutation batch to the graph registered under
+// graphName (see dsd.Solver.Mutate for the versioning and incremental-
+// repair semantics) and returns what changed. Effective operations are
+// counted in dsd_mutations_total by graph and op; pinned in-flight
+// queries are unaffected — they hold their version's state.
+func (e *Engine) Mutate(ctx context.Context, graphName string, m dsd.Mutation) (*dsd.MutationDelta, error) {
+	entry, ok := e.reg.Get(graphName)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown graph %q", graphName)
+	}
+	d, err := entry.Solver.Mutate(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	if d.Inserted > 0 {
+		e.metrics.Counter("dsd_mutations_total",
+			"Effective edge mutations applied, by graph and operation.",
+			"graph", graphName, "op", "insert").Add(int64(d.Inserted))
+	}
+	if d.Deleted > 0 {
+		e.metrics.Counter("dsd_mutations_total",
+			"Effective edge mutations applied, by graph and operation.",
+			"graph", graphName, "op", "delete").Add(int64(d.Deleted))
+	}
+	return d, nil
+}
+
+// DeleteGraph unregisters the graph under graphName and evicts its
+// cached results (in-flight queries holding the entry finish normally).
+// The name may be re-used afterwards; the cache keys on the entry's
+// registration ID, so a re-registered name starts with a cold cache.
+func (e *Engine) DeleteGraph(graphName string) error {
+	entry, ok := e.reg.Remove(graphName)
+	if !ok {
+		return fmt.Errorf("service: unknown graph %q", graphName)
+	}
+	evicted := e.cache.EvictGraph(entry.CacheKey())
+	e.metrics.Counter("dsd_graph_evictions_total",
+		"Graphs unregistered via DELETE, by graph.",
+		"graph", graphName).Inc()
+	e.log.Info("graph deleted",
+		slog.String("graph", graphName),
+		slog.Int("cache_entries_evicted", evicted))
+	return nil
+}
+
+// GraphDetail returns the per-graph lifecycle view: registered-time
+// stats, the current head version with its live counts, and the
+// retained versions pinned queries may target.
+func (e *Engine) GraphDetail(graphName string) (wire.GraphDetail, error) {
+	entry, ok := e.reg.Get(graphName)
+	if !ok {
+		return wire.GraphDetail{}, fmt.Errorf("service: unknown graph %q", graphName)
+	}
+	g := entry.Solver.Graph()
+	vers := entry.Solver.Versions()
+	wv := make([]int64, len(vers))
+	for i, v := range vers {
+		wv[i] = int64(v)
+	}
+	return wire.GraphDetail{
+		GraphInfo: entry.Info(),
+		Version:   int64(entry.Solver.Version()),
+		LiveN:     g.N(),
+		LiveM:     g.M(),
+		Versions:  wv,
+	}, nil
 }
 
 // observeComputed is the slow-query log: a computed result whose total

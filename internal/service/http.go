@@ -18,17 +18,20 @@ import (
 
 // Server is the HTTP JSON API over a Registry and Engine:
 //
-//	POST /v2/query     — run any dsd.Query (wire.QueryV2Request)
-//	POST /v1/query     — run a (graph, pattern, algo) query (legacy)
-//	GET  /v1/graphs    — list registered graphs with their stats
-//	POST /v1/graphs    — register a graph (inline edges or server path)
-//	GET  /v1/stats     — operational counters
-//	GET  /metrics      — Prometheus text exposition of the engine registry
-//	GET  /healthz      — liveness probe
-//	POST /v3/component — run one CoreExact component search (shard worker)
-//	POST /v3/bound     — raise an in-flight component search's floor
-//	GET  /v3/shards    — list registered shard workers with health
-//	POST /v3/shards    — register a shard worker's base URL
+//	POST   /v2/query            — run any dsd.Query (wire.QueryV2Request)
+//	POST   /v1/query            — run a (graph, pattern, algo) query (legacy)
+//	GET    /v1/graphs           — list registered graphs with their stats
+//	POST   /v1/graphs           — register a graph (inline edges or server path)
+//	GET    /v1/graphs/{g}       — per-graph detail: stats, current version, retained versions
+//	DELETE /v1/graphs/{g}       — unregister a graph and evict its cached results
+//	POST   /v1/graphs/{g}/edges — apply an edge-mutation batch, returning the new version
+//	GET    /v1/stats            — operational counters
+//	GET    /metrics             — Prometheus text exposition of the engine registry
+//	GET    /healthz             — liveness probe
+//	POST   /v3/component        — run one CoreExact component search (shard worker)
+//	POST   /v3/bound            — raise an in-flight component search's floor
+//	GET    /v3/shards           — list registered shard workers with health
+//	POST   /v3/shards           — register a shard worker's base URL
 //
 // v1 queries are decoded into a dsd.Query and answered by the same
 // pipeline as v2, so the two generations share one result cache. The v3
@@ -54,6 +57,9 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("GET /v1/graphs/{g}", s.handleGraphDetail)
+	mux.HandleFunc("DELETE /v1/graphs/{g}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{g}/edges", s.handleMutateGraph)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -92,10 +98,11 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Resolve before solving so the response echoes the canonical query
-	// — defaults applied, algorithm inferred — the cache actually keyed.
-	nq, err := s.engine.Resolve(q)
+	// — defaults applied, algorithm inferred, version pinned to the
+	// concrete head — the cache actually keyed.
+	nq, err := s.engine.ResolveFor(req.Graph, q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	res, cached, err := s.engine.Solve(r.Context(), req.Graph, nq,
@@ -189,6 +196,61 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, entry.Info())
 }
 
+// handleGraphDetail is GET /v1/graphs/{g}: the per-graph lifecycle view
+// (registered-time stats, current version with live counts, retained
+// versions).
+func (s *Server) handleGraphDetail(w http.ResponseWriter, r *http.Request) {
+	detail, err := s.engine.GraphDetail(r.PathValue("g"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// handleDeleteGraph is DELETE /v1/graphs/{g}: unregister the graph and
+// evict its cached results. In-flight queries finish normally; the name
+// may be re-used, starting with a cold cache.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.engine.DeleteGraph(r.PathValue("g")); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMutateGraph is POST /v1/graphs/{g}/edges: apply an edge-mutation
+// batch as one new graph version and return it. Queries admitted before
+// the batch keep answering on their pinned pre-mutation version.
+func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	var req wire.MutateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Insert) == 0 && len(req.Delete) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("at least one of insert or delete is required"))
+		return
+	}
+	name := r.PathValue("g")
+	d, err := s.engine.Mutate(r.Context(), name, dsd.Mutation{Insert: req.Insert, Delete: req.Delete})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.MutateResponse{
+		Graph:          name,
+		Version:        int64(d.Version),
+		Inserted:       d.Inserted,
+		Deleted:        d.Deleted,
+		SkippedInserts: d.SkippedInserts,
+		SkippedDeletes: d.SkippedDeletes,
+		NewVertices:    d.NewVertices,
+		N:              d.N,
+		M:              d.M,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
@@ -279,6 +341,11 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case strings.Contains(err.Error(), "unknown graph"):
 		return http.StatusNotFound
+	case strings.Contains(err.Error(), "not retained"):
+		// A query pinned to a graph version that has been evicted from the
+		// Solver's retention window: the request was well-formed but names
+		// state this server no longer holds.
+		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
 	}

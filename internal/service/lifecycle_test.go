@@ -1,0 +1,313 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/service/wire"
+)
+
+// TestGraphLifecycleEndpoints walks the full lifecycle over HTTP:
+// register → inspect → mutate (new version, new answer) → inspect again
+// → delete → gone.
+func TestGraphLifecycleEndpoints(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	if _, err := c.RegisterEdges(ctx, "bowtie", bowtieEdges); err != nil {
+		t.Fatal(err)
+	}
+	detail, err := c.GetGraph(ctx, "bowtie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.Name != "bowtie" || detail.Version != 1 || detail.LiveN != 7 || detail.LiveM != 8 {
+		t.Fatalf("fresh detail: %+v", detail)
+	}
+	if len(detail.Versions) != 1 || detail.Versions[0] != 1 {
+		t.Fatalf("fresh versions: %v", detail.Versions)
+	}
+
+	before, err := c.QueryV2(ctx, wire.QueryV2Request{Graph: "bowtie", Query: wire.Query{Pattern: "triangle"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Query.Version != 1 {
+		t.Fatalf("echoed version = %d, want 1 (the resolved head)", before.Query.Version)
+	}
+
+	// Complete {0,1,2,3} into a 4-clique: the triangle-densest subgraph
+	// changes from a lone triangle to the clique.
+	mresp, err := c.Mutate(ctx, "bowtie", wire.MutateRequest{
+		Insert: [][2]int{{0, 3}, {1, 3}},
+		Delete: [][2]int{{5, 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mresp.Version != 2 || mresp.Inserted != 2 || mresp.Deleted != 1 || mresp.M != 9 {
+		t.Fatalf("mutate response: %+v", mresp)
+	}
+
+	after, err := c.QueryV2(ctx, wire.QueryV2Request{Graph: "bowtie", Query: wire.Query{Pattern: "triangle"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Query.Version != 2 {
+		t.Fatalf("post-mutation echoed version = %d, want 2", after.Query.Version)
+	}
+	if after.Result.Density <= before.Result.Density {
+		t.Fatalf("density did not rise after densifying mutation: before %v, after %v",
+			before.Result.Density, after.Result.Density)
+	}
+
+	detail, err = c.GetGraph(ctx, "bowtie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.Version != 2 || detail.LiveM != 9 || len(detail.Versions) != 2 {
+		t.Fatalf("post-mutation detail: %+v", detail)
+	}
+
+	if err := c.DeleteGraph(ctx, "bowtie"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetGraph(ctx, "bowtie"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("GetGraph after delete: %v, want 404", err)
+	}
+	if err := c.DeleteGraph(ctx, "bowtie"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("double delete: %v, want 404", err)
+	}
+	if _, err := c.QueryV2(ctx, wire.QueryV2Request{Graph: "bowtie", Query: wire.Query{Pattern: "edge"}}); err == nil {
+		t.Fatal("query answered for a deleted graph")
+	}
+}
+
+// TestMutationInvalidatesCache: the same floating-head query before and
+// after a mutation must hit different cache entries — the version pinned
+// at admission is part of the key.
+func TestMutationInvalidatesCache(t *testing.T) {
+	srv, c := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.RegisterEdges(ctx, "g", bowtieEdges); err != nil {
+		t.Fatal(err)
+	}
+	q := wire.QueryV2Request{Graph: "g", Query: wire.Query{Pattern: "triangle"}}
+	if _, err := c.QueryV2(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryV2(ctx, q); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	computes := srv.Engine().Stats().Computes
+	if _, err := c.Mutate(ctx, "g", wire.MutateRequest{Insert: [][2]int{{0, 3}, {1, 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.QueryV2(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("post-mutation query served from the pre-mutation cache entry")
+	}
+	if got := srv.Engine().Stats().Computes; got != computes+1 {
+		t.Fatalf("computes = %d, want %d (one fresh computation post-mutation)", got, computes+1)
+	}
+	// The pre-mutation version stays addressable and cached.
+	pinned := wire.QueryV2Request{Graph: "g", Query: wire.Query{Pattern: "triangle", Version: 1}}
+	presp, err := c.QueryV2(ctx, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !presp.Cached {
+		t.Fatal("pinned version-1 query missed the cache; version keys are mixing")
+	}
+	if presp.Query.Version != 1 {
+		t.Fatalf("pinned echo version = %d, want 1", presp.Query.Version)
+	}
+}
+
+// TestDeleteThenReRegisterServesFreshAnswers: a graph deleted and
+// re-registered under the same name must never serve the old graph's
+// cached results.
+func TestDeleteThenReRegisterServesFreshAnswers(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.RegisterEdges(ctx, "g", bowtieEdges); err != nil {
+		t.Fatal(err)
+	}
+	q := wire.QueryV2Request{Graph: "g", Query: wire.Query{Pattern: "edge"}}
+	old, err := c.QueryV2(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteGraph(ctx, "g"); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different graph: a 5-clique.
+	var b strings.Builder
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			fmt.Fprintf(&b, "%d %d\n", u, v)
+		}
+	}
+	if _, err := c.RegisterEdges(ctx, "g", b.String()); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := c.QueryV2(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Fatal("re-registered graph served the deleted graph's cache entry")
+	}
+	if fresh.Result.Density == old.Result.Density {
+		t.Fatalf("density unchanged (%v) across re-registration with a different graph", old.Result.Density)
+	}
+	if want := 2.0; fresh.Result.Density != want {
+		t.Fatalf("5-clique edge density = %v, want %v", fresh.Result.Density, want)
+	}
+}
+
+// TestEvictedVersionConflict: pinning a version outside the retention
+// window is a 409 — the version is named correctly but no longer held.
+func TestEvictedVersionConflict(t *testing.T) {
+	reg := service.NewRegistry()
+	reg.SetRetain(2)
+	srv := service.NewServer(reg, service.Config{Workers: 2, Timeout: time.Minute})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+	if _, err := c.RegisterEdges(ctx, "g", bowtieEdges); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Mutate(ctx, "g", wire.MutateRequest{Insert: [][2]int{{0, 7 + i}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Head is 4; with retain 2 only versions 3 and 4 remain.
+	_, err := c.QueryV2(ctx, wire.QueryV2Request{Graph: "g", Query: wire.Query{Pattern: "edge", Version: 1}})
+	if err == nil || !strings.Contains(err.Error(), "status 409") {
+		t.Fatalf("evicted-version query: %v, want 409", err)
+	}
+	if _, err := c.QueryV2(ctx, wire.QueryV2Request{Graph: "g", Query: wire.Query{Pattern: "edge", Version: 3}}); err != nil {
+		t.Fatalf("retained version 3: %v", err)
+	}
+}
+
+// TestMutateWhileQueryingConcurrently races a mutation stream against
+// floating-head and pinned queries (run under -race). Pinned version-1
+// answers must stay bit-stable across every mutation, and the echoed
+// version of each floating query must be a version that existed when it
+// was admitted.
+func TestMutateWhileQueryingConcurrently(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.RegisterEdges(ctx, "g", bowtieEdges); err != nil {
+		t.Fatal(err)
+	}
+	pinnedReq := wire.QueryV2Request{Graph: "g", Query: wire.Query{Pattern: "triangle", Version: 1}}
+	want, err := c.QueryV2(ctx, pinnedReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			ins := [][2]int{{i % 7, 7 + i}}
+			if _, err := c.Mutate(ctx, "g", wire.MutateRequest{Insert: ins}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				got, err := c.QueryV2(ctx, pinnedReq)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Result.DensityNum != want.Result.DensityNum || got.Result.DensityDen != want.Result.DensityDen {
+					errs <- fmt.Errorf("pinned answer drifted: %d/%d, want %d/%d",
+						got.Result.DensityNum, got.Result.DensityDen, want.Result.DensityNum, want.Result.DensityDen)
+					return
+				}
+				head, err := c.QueryV2(ctx, wire.QueryV2Request{Graph: "g", Query: wire.Query{Pattern: "triangle"}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if head.Query.Version < 1 || head.Query.Version > 13 {
+					errs <- fmt.Errorf("head query echoed impossible version %d", head.Query.Version)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestLifecycleMetrics: mutations and deletions must show up in the
+// exposition — dsd_mutations_total by op, dsd_graph_evictions_total, and
+// the dsd_graphs gauge dropping back after a DELETE.
+func TestLifecycleMetrics(t *testing.T) {
+	srv, c := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+	if _, err := c.RegisterEdges(ctx, "mg", bowtieEdges); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Mutate(ctx, "mg", wire.MutateRequest{
+		Insert: [][2]int{{0, 3}, {1, 3}},
+		Delete: [][2]int{{5, 6}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteGraph(ctx, "mg"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`dsd_mutations_total{graph="mg",op="insert"} 2`,
+		`dsd_mutations_total{graph="mg",op="delete"} 1`,
+		`dsd_graph_evictions_total{graph="mg"} 1`,
+		`dsd_graphs 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	dsd "repro"
@@ -23,12 +24,20 @@ import (
 // errors.Is.
 var ErrAlreadyRegistered = errors.New("already registered")
 
+// entrySeq mints process-unique entry IDs (see GraphEntry.ID).
+var entrySeq atomic.Int64
+
 // GraphEntry is one registered graph with its precomputed structural
 // summary and the Solver every query on it goes through. The entry's
 // fields are immutable after registration (the Solver is internally
 // synchronized), so entries may be read concurrently without locking.
 type GraphEntry struct {
-	Name     string
+	Name string
+	// ID is unique per registration, process-wide. Names can re-bind
+	// across a Remove + Register, so caches key on (Name, ID) — the
+	// CacheKey composite — never on the bare name: a re-registered name
+	// is a different graph and must never serve the old entry's results.
+	ID       int64
 	G        *dsd.Graph
 	Stats    graph.Stats
 	LoadedAt time.Time
@@ -42,12 +51,18 @@ type GraphEntry struct {
 // Info returns the entry's wire form.
 func (e *GraphEntry) Info() wire.GraphInfo { return wire.FromStats(e.Name, e.Stats) }
 
+// CacheKey is the entry's result-cache graph key: the name composited
+// with the registration ID, so results can never outlive the entry they
+// were computed on.
+func (e *GraphEntry) CacheKey() string { return fmt.Sprintf("%s#%d", e.Name, e.ID) }
+
 // Registry is a thread-safe collection of named graphs. Registration
 // computes the graph's structural summary once; queries then share the
 // immutable entry.
 type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*GraphEntry
+	retain int
 }
 
 // NewRegistry returns an empty registry.
@@ -55,9 +70,19 @@ func NewRegistry() *Registry {
 	return &Registry{graphs: make(map[string]*GraphEntry)}
 }
 
-// Register adds g under name. Names are non-empty and unique: re-using a
-// name is an error, so a name durably identifies one graph and result
-// caches keyed by name can never serve answers for a replaced graph.
+// SetRetain sets the graph-version retention window applied to every
+// subsequently registered graph's Solver (0 keeps the library default,
+// dsd.DefaultRetainVersions). Already-registered Solvers are unaffected.
+func (r *Registry) SetRetain(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retain = n
+}
+
+// Register adds g under name. Names are non-empty and unique among the
+// currently registered graphs: re-using a live name is an error. A name
+// may re-bind after Remove, which is why result caches key on the
+// entry's CacheKey (name + registration ID), never the bare name.
 func (r *Registry) Register(name string, g *dsd.Graph) (*GraphEntry, error) {
 	if strings.TrimSpace(name) == "" {
 		return nil, fmt.Errorf("service: empty graph name")
@@ -75,14 +100,38 @@ func (r *Registry) Register(name string, g *dsd.Graph) (*GraphEntry, error) {
 	}
 	// Precompute outside the lock: ComputeStats is O(n·m) in the worst
 	// case and must not serialize registrations behind it.
-	entry := &GraphEntry{Name: name, G: g, Stats: g.ComputeStats(), LoadedAt: time.Now(), Solver: dsd.NewSolver(g)}
+	entry := &GraphEntry{
+		Name:     name,
+		ID:       entrySeq.Add(1),
+		G:        g,
+		Stats:    g.ComputeStats(),
+		LoadedAt: time.Now(),
+		Solver:   dsd.NewSolver(g),
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.graphs[name]; ok {
 		return nil, fmt.Errorf("service: graph %q %w", name, ErrAlreadyRegistered)
 	}
+	if r.retain > 0 {
+		entry.Solver.SetRetain(r.retain)
+	}
 	r.graphs[name] = entry
 	return entry, nil
+}
+
+// Remove unregisters the graph under name, returning the removed entry
+// (false when no such graph). In-flight queries holding the entry finish
+// normally; the caller is responsible for evicting the entry's cached
+// results (see Engine.DeleteGraph).
+func (r *Registry) Remove(name string) (*GraphEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if ok {
+		delete(r.graphs, name)
+	}
+	return e, ok
 }
 
 // RegisterEdgeList parses a whitespace edge list and registers it.

@@ -75,6 +75,11 @@ type Query struct {
 	Anchors    []int32  `json:"anchors,omitempty"`
 	AtLeast    int      `json:"at_least,omitempty"`
 	Eps        float64  `json:"eps,omitempty"`
+	// Version pins the query to one graph version of a mutable graph
+	// (0 = current head; see dsd.Solver.Apply). The service resolves 0 to
+	// the head version at admission, so the echoed canonical query always
+	// carries the concrete version it answered on.
+	Version int64 `json:"version,omitempty"`
 }
 
 // Pruning is the wire form of the CoreExact pruning ablations. Every
@@ -101,6 +106,7 @@ func (w Query) ToQuery() (dsd.Query, error) {
 		Anchors:    w.Anchors,
 		AtLeast:    w.AtLeast,
 		Eps:        w.Eps,
+		Version:    dsd.Version(w.Version),
 	}
 	if w.Algo != "" {
 		a, err := dsd.ParseAlgo(w.Algo)
@@ -143,6 +149,7 @@ func FromQuery(q dsd.Query) Query {
 		Anchors:    q.Anchors,
 		AtLeast:    q.AtLeast,
 		Eps:        q.Eps,
+		Version:    int64(q.Version),
 	}
 	if q.Pattern != nil {
 		w.Pattern = q.Psi()
@@ -173,6 +180,9 @@ type QueryStats struct {
 	PreSolveSkips       int     `json:"pre_solve_skips"`
 	ReusedDecomposition bool    `json:"reused_decomposition,omitempty"`
 	ReusedDegrees       bool    `json:"reused_degrees,omitempty"`
+	// BoundedCores: the run located on upper-bound core numbers carried
+	// across a mutation instead of peeling its own graph version.
+	BoundedCores bool `json:"bounded_cores,omitempty"`
 	// The sharded-execution counters (zero on in-process runs): planned
 	// component searches, those answered remotely, remote failures
 	// re-executed locally, and straggler hedges launched.
@@ -201,6 +211,7 @@ func FromQueryStats(st dsd.QueryStats) *QueryStats {
 		PreSolveSkips:       st.PreSolveSkips,
 		ReusedDecomposition: st.ReusedDecomposition,
 		ReusedDegrees:       st.ReusedDegrees,
+		BoundedCores:        st.BoundedCores,
 		ShardComponents:     st.ShardComponents,
 		ShardRemote:         st.ShardRemote,
 		ShardFallbacks:      st.ShardFallbacks,
@@ -287,6 +298,44 @@ func FromStats(name string, s graph.Stats) GraphInfo {
 		MaxDegree:  s.MaxDegree,
 		PowerLawA:  s.PowerLawA,
 	}
+}
+
+// MutateRequest applies an edge-mutation batch to a registered graph
+// (POST /v1/graphs/{g}/edges): the edges to delete and the edges to
+// insert, applied atomically as one new graph version (deletes first;
+// see dsd.Mutation for the skip semantics).
+type MutateRequest struct {
+	Delete [][2]int `json:"delete,omitempty"`
+	Insert [][2]int `json:"insert,omitempty"`
+}
+
+// MutateResponse reports what the batch changed and the graph version
+// now current. A batch that changed nothing echoes the unchanged
+// version.
+type MutateResponse struct {
+	Graph          string `json:"graph"`
+	Version        int64  `json:"version"`
+	Inserted       int    `json:"inserted"`
+	Deleted        int    `json:"deleted"`
+	SkippedInserts int    `json:"skipped_inserts,omitempty"`
+	SkippedDeletes int    `json:"skipped_deletes,omitempty"`
+	NewVertices    int    `json:"new_vertices,omitempty"`
+	N              int    `json:"n"`
+	M              int    `json:"m"`
+}
+
+// GraphDetail is the per-graph lifecycle view (GET /v1/graphs/{g}):
+// the registered-time structural summary, the current head version with
+// live vertex/edge counts (they drift from the summary as mutations
+// land), and the set of retained versions pinned queries may target.
+type GraphDetail struct {
+	GraphInfo
+	Version int64 `json:"version"`
+	// LiveN / LiveM are the head version's counts; GraphInfo's N and M
+	// describe the graph as registered.
+	LiveN    int     `json:"live_n"`
+	LiveM    int     `json:"live_m"`
+	Versions []int64 `json:"versions"`
 }
 
 // StatsResponse is the service's operational counters. Workers is the

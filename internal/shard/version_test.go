@@ -1,0 +1,107 @@
+package shard_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	dsd "repro"
+	"repro/internal/gen"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// TestShardedVersionMismatchFallsBackLocally: the coordinator pins
+// queries to its own graph version, but a worker replica that has not
+// seen the same mutations answers 409 for that version — which must
+// cost fallbacks (the components re-execute locally), never the answer.
+func TestShardedVersionMismatchFallsBackLocally(t *testing.T) {
+	ctx := context.Background()
+	g := gen.MultiCommunity(6, 18, 8, 11, 12, 1)
+
+	// The worker holds the graph as loaded: version 1 forever.
+	wreg := service.NewRegistry()
+	if _, err := wreg.Register("g", g); err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewServer(service.NewServer(wreg, service.Config{}))
+	t.Cleanup(w.Close)
+
+	// The coordinator's replica advances to version 2.
+	local := service.NewRegistry()
+	entry, err := local.Register("g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := entry.Solver.Apply(ctx, dsd.Mutation{Insert: [][2]int{{0, g.N()}}}); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Solver.Version() != 2 {
+		t.Fatalf("local head = %d, want 2", entry.Solver.Version())
+	}
+
+	coord := shard.NewCoordinator(local, shard.NewSet(w.URL), shard.Config{})
+	q := dsd.Query{H: 2, Version: 2}
+	serial, err := entry.Solver.Solve(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Solve(ctx, "g", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density.Cmp(serial.Density) != 0 {
+		t.Fatalf("version-mismatch run density %v != serial %v", res.Density, serial.Density)
+	}
+	if res.Stats.ShardFallbacks == 0 {
+		t.Fatal("worker lacking the pinned version produced no fallbacks")
+	}
+}
+
+// TestShardedVersionMatchStaysRemote: when the worker replica has seen
+// the same mutation, pinned queries keep distributing.
+func TestShardedVersionMatchStaysRemote(t *testing.T) {
+	ctx := context.Background()
+	g := gen.MultiCommunity(6, 18, 8, 11, 12, 1)
+	mutation := dsd.Mutation{Insert: [][2]int{{0, g.N()}}}
+
+	wreg := service.NewRegistry()
+	wentry, err := wreg.Register("g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wentry.Solver.Apply(ctx, mutation); err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewServer(service.NewServer(wreg, service.Config{}))
+	t.Cleanup(w.Close)
+
+	local := service.NewRegistry()
+	entry, err := local.Register("g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := entry.Solver.Apply(ctx, mutation); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := shard.NewCoordinator(local, shard.NewSet(w.URL), shard.Config{})
+	q := dsd.Query{H: 2, Version: 2}
+	serial, err := entry.Solver.Solve(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Solve(ctx, "g", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density.Cmp(serial.Density) != 0 {
+		t.Fatalf("pinned sharded density %v != serial %v", res.Density, serial.Density)
+	}
+	if res.Stats.ShardFallbacks != 0 {
+		t.Fatalf("matching versions produced %d fallbacks", res.Stats.ShardFallbacks)
+	}
+	if res.Stats.ShardRemote == 0 {
+		t.Fatal("no component went remote despite matching versions")
+	}
+}

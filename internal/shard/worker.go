@@ -99,22 +99,37 @@ func (w *Worker) HandleComponent(rw http.ResponseWriter, r *http.Request) {
 		wire.WriteError(rw, http.StatusNotFound, fmt.Errorf("shard: unknown graph %q", req.Graph))
 		return
 	}
+	q, err := req.Query.ToQuery()
+	if err != nil {
+		wire.WriteError(rw, http.StatusBadRequest, err)
+		return
+	}
+	// Version check before any work: the coordinator pins queries to a
+	// concrete graph version, and this worker's replica may not have seen
+	// the same mutations (or may have pruned the version). A 409 tells
+	// the coordinator its plan does not apply here; its remote-failure
+	// path re-executes the component locally, where the version is held.
+	gr := solver.Graph()
+	if q.Version != 0 {
+		snap, err := solver.At(q.Version)
+		if err != nil {
+			wire.WriteError(rw, http.StatusConflict,
+				fmt.Errorf("shard: graph %q version %d not available on this worker (head %d): %w; falling back to the coordinator's local execution", req.Graph, q.Version, solver.Version(), err))
+			return
+		}
+		gr = snap.Graph()
+	}
 	// Validate the component against THIS worker's graph before solving:
 	// a coordinator holding a different graph under the same name (the
 	// documented misconfiguration) or a buggy caller must get a loud 400
 	// here, not an index panic deep inside the search.
-	n := int32(solver.Graph().N())
+	n := int32(gr.N())
 	for _, v := range req.Component {
 		if v < 0 || v >= n {
 			wire.WriteError(rw, http.StatusBadRequest,
 				fmt.Errorf("shard: component vertex %d outside graph %q (n=%d); do the coordinator and this worker hold the same graph?", v, req.Graph, n))
 			return
 		}
-	}
-	q, err := req.Query.ToQuery()
-	if err != nil {
-		wire.WriteError(rw, http.StatusBadRequest, err)
-		return
 	}
 	floor := dsd.NewComponentFloor(req.FloorNum, req.FloorDen)
 	w.register(req.SearchID, floor)

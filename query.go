@@ -113,6 +113,12 @@ type Query struct {
 	// Eps is AlgoBatchPeel's batch-removal slack (> 0); the answer is a
 	// 1/((1+ε)·|VΨ|)-approximation in O(log n / ε) passes.
 	Eps float64
+	// Version pins the query to one graph version of a mutable Solver
+	// (see Solver.Apply): 0 answers on the current head, a positive value
+	// on that retained version — Solve fails when it has been evicted.
+	// Version participates in Key, so pinned queries never share a cache
+	// entry with head queries or with other versions.
+	Version Version
 }
 
 // Normalized returns q in canonical form — algorithm inferred, clique
@@ -214,6 +220,9 @@ func (q Query) normalize() (Query, motif.Oracle, error) {
 	if q.Eps != 0 && q.Algo != AlgoBatchPeel {
 		return q, nil, fmt.Errorf("dsd: Eps is only meaningful with Algo=%s (got %q)", AlgoBatchPeel, q.Algo)
 	}
+	if q.Version < 0 {
+		return q, nil, fmt.Errorf("dsd: Version must be ≥ 0 (0 = current head), got %d", q.Version)
+	}
 	return q, o, nil
 }
 
@@ -250,6 +259,12 @@ func (q Query) Key() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "v2|psi=%s|algo=%s", o.Name(), nq.Algo)
+	// The version pin selects which graph the computation runs on, for
+	// every algorithm. Omitted when zero (head) to keep pre-versioning
+	// keys stable.
+	if nq.Version != 0 {
+		fmt.Fprintf(&b, "|ver=%d", nq.Version)
+	}
 	switch nq.Algo {
 	case AlgoCoreExact:
 		opts := nq.coreOptions()

@@ -3,6 +3,7 @@ package dsd
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,12 @@ import (
 // recomputation. The dsdd v2 wire encoding serializes it verbatim.
 type QueryStats = core.Stats
 
+// DefaultRetainVersions is how many graph versions a Solver keeps
+// addressable by default (the head plus its most recent predecessors).
+// Queries pinned to an evicted version fail loudly; SetRetain tunes the
+// window.
+const DefaultRetainVersions = 8
+
 // Solver answers densest-subgraph queries on one graph through the
 // single entrypoint Solve, memoizing the expensive per-(graph,Ψ) state —
 // whole-graph Ψ-degree vectors, (k,Ψ)-core and nucleus decompositions,
@@ -31,10 +38,33 @@ type QueryStats = core.Stats
 // nothing for the machinery (a cold Solver computes exactly what the
 // bare algorithms would).
 //
-// A Solver is safe for concurrent use. The graph must not be mutated
-// while a Solver holds it (Graphs are immutable by construction).
+// The graph is mutable through Apply: each edge insert/delete batch
+// produces a new immutable version (copy-on-write — untouched adjacency
+// is shared), the memo is repaired incrementally instead of discarded
+// (see Apply), and in-flight queries keep reading the version they
+// started on. Query.Version pins a query to a retained version; 0 means
+// the current head.
+//
+// A Solver is safe for concurrent use. Graphs handed to NewSolver must
+// not be mutated externally (Graphs are immutable by construction; all
+// mutation goes through Apply).
 type Solver struct {
-	g *Graph
+	// applyMu serializes Apply: mutations are rare relative to queries
+	// and a total order of versions is the whole point.
+	applyMu sync.Mutex
+
+	vmu    sync.RWMutex
+	head   *verState
+	hist   map[Version]*verState
+	retain int
+}
+
+// verState is one immutable graph version with its memoized per-Ψ state.
+// The graph and version number never change after construction; the memo
+// fields fill in lazily under their locks.
+type verState struct {
+	ver Version
+	g   *Graph
 
 	mu  sync.Mutex
 	psi map[string]*psiState
@@ -44,7 +74,7 @@ type Solver struct {
 }
 
 // psiState is the memoized per-Ψ state. Each kind is computed at most
-// once per Solver, on first use, under the state's own lock — same-Ψ
+// once per version, on first use, under the state's own lock — same-Ψ
 // queries serialize on the first computation instead of duplicating it;
 // different Ψ never contend.
 type psiState struct {
@@ -56,43 +86,162 @@ type psiState struct {
 	total   int64                  // µ(G,Ψ)
 	deg     []int64                // whole-graph Ψ-degrees
 	haveDeg bool
+	// ub is an upper-bound core decomposition carried across Apply
+	// (psicore.UpperBound over the parent version's cores): core-exact
+	// queries locate on it without re-peeling this version, which is
+	// sound because CoreExact only ever uses core numbers to prune
+	// (core.Options.DecUpperBound). It is NOT a peel of this graph — the
+	// peel-order family (AlgoPeel/AlgoInc, nucleus) never reads it, and a
+	// real peel, once computed into dec, supersedes it.
+	ub *psicore.Decomposition
+	// witness is the best exact witness a core-exact run on this Ψ has
+	// produced — carried across Apply so the next search starts from the
+	// old certificate (its density is re-evaluated on the new graph
+	// before use, so a stale witness can only under-seed, never mislead).
+	witness []int32
 }
 
-// NewSolver returns a Solver over g with an empty memo.
+// NewSolver returns a Solver over g with an empty memo, at Version 1.
 func NewSolver(g *Graph) *Solver {
-	return &Solver{g: g, psi: make(map[string]*psiState)}
+	head := &verState{ver: 1, g: g, psi: make(map[string]*psiState)}
+	return &Solver{
+		head:   head,
+		hist:   map[Version]*verState{1: head},
+		retain: DefaultRetainVersions,
+	}
 }
 
-// Graph returns the graph the Solver answers queries on.
-func (s *Solver) Graph() *Graph { return s.g }
+// Graph returns the graph of the Solver's current head version.
+func (s *Solver) Graph() *Graph {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	return s.head.g
+}
+
+// Version returns the Solver's current head version. Versions start at 1
+// and advance by one per effective Apply.
+func (s *Solver) Version() Version {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	return s.head.ver
+}
+
+// Versions lists the retained versions in ascending order — the set
+// Query.Version and At may pin.
+func (s *Solver) Versions() []Version {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	out := make([]Version, 0, len(s.hist))
+	for v := range s.hist {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetRetain bounds how many versions the Solver keeps addressable
+// (minimum 1: the head always is). Older versions are evicted as Apply
+// advances the head; queries already running on an evicted version are
+// unaffected (they hold their version's state directly).
+func (s *Solver) SetRetain(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	s.retain = n
+	s.pruneLocked()
+}
+
+// pruneLocked evicts versions beyond the retention window. Caller holds
+// vmu.
+func (s *Solver) pruneLocked() {
+	for v := range s.hist {
+		if v <= s.head.ver-Version(s.retain) {
+			delete(s.hist, v)
+		}
+	}
+}
+
+// state resolves a query's version pin: 0 is the head, anything else
+// must be retained.
+func (s *Solver) state(v Version) (*verState, error) {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	if v == 0 {
+		return s.head, nil
+	}
+	st, ok := s.hist[v]
+	if !ok {
+		return nil, fmt.Errorf("dsd: version %d not retained (head is %d, retention %d)", v, s.head.ver, s.retain)
+	}
+	return st, nil
+}
 
 // psiFor returns (creating if needed) the memo cell for o's motif.
-func (s *Solver) psiFor(o motif.Oracle) *psiState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.psi[o.Name()]
+func (vs *verState) psiFor(o motif.Oracle) *psiState {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	st, ok := vs.psi[o.Name()]
 	if !ok {
 		st = &psiState{o: o}
-		s.psi[o.Name()] = st
+		vs.psi[o.Name()] = st
 	}
 	return st
 }
 
 // decomposition returns the memoized (k,Ψ)-core decomposition, computing
 // it on first use. ctx aborts a compute but never poisons the memo: an
-// aborted computation is simply retried by the next caller.
+// aborted computation is simply retried by the next caller. When the
+// state already holds the Ψ-degree vector — memoized by a degree-family
+// query, or maintained incrementally across Apply — the peel is seeded
+// from it and the enumeration-heavy counting prefix is skipped; the
+// result is bit-identical either way (psicore.DecomposeSeeded).
 func (st *psiState) decomposition(ctx context.Context, g *Graph, workers int) (*psicore.Decomposition, bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.dec != nil {
 		return st.dec, true, nil
 	}
-	d, err := psicore.DecomposeContext(ctx, g, st.o, workers)
+	if !st.haveDeg {
+		// Memoize the Ψ-degree vector itself, not just the peel built from
+		// it: degree-family queries reuse it directly, and Apply maintains
+		// it per edge so post-mutation decompositions skip this counting
+		// entirely.
+		if pc, ok := st.o.(motif.ParallelCounter); ok && workers > 1 {
+			st.total, st.deg = pc.CountAndDegreesParallel(g, workers)
+		} else {
+			st.total, st.deg = st.o.CountAndDegrees(g)
+		}
+		st.haveDeg = true
+	}
+	d, err := psicore.DecomposeSeeded(ctx, g, st.o, st.total, st.deg)
 	if err != nil {
 		return nil, false, err
 	}
 	st.dec = d
 	return d, false, nil
+}
+
+// coreExactDec returns the best decomposition available for a core-exact
+// plan without forcing a peel: the exact memoized decomposition when the
+// version holds one; else the upper-bound decomposition carried across
+// Apply (bounded=true — the caller must set core.Options.DecUpperBound);
+// else it peels this version, memoizing the result exactly like
+// decomposition does.
+func (st *psiState) coreExactDec(ctx context.Context, g *Graph, workers int) (dec *psicore.Decomposition, reused, bounded bool, err error) {
+	st.mu.Lock()
+	if st.dec != nil {
+		defer st.mu.Unlock()
+		return st.dec, true, false, nil
+	}
+	if st.ub != nil {
+		defer st.mu.Unlock()
+		return st.ub, true, true, nil
+	}
+	st.mu.Unlock()
+	dec, reused, err = st.decomposition(ctx, g, workers)
+	return dec, reused, false, err
 }
 
 // nucleus returns the memoized nucleus decomposition.
@@ -119,19 +268,41 @@ func (st *psiState) degrees(g *Graph) (int64, []int64, bool) {
 	return st.total, st.deg, false
 }
 
-// kcoreDec returns the memoized classical k-core decomposition.
-func (s *Solver) kcoreDec() (*kcore.Decomposition, bool) {
-	s.kmu.Lock()
-	defer s.kmu.Unlock()
-	if s.kc != nil {
-		return s.kc, true
+// seedWitness returns a copy of the state's carried witness (nil when
+// none is known).
+func (st *psiState) seedWitness() []int32 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.witness) == 0 {
+		return nil
 	}
-	s.kc = kcore.Decompose(s.g)
-	return s.kc, false
+	return append([]int32(nil), st.witness...)
+}
+
+// recordWitness stores an exact witness for future seeding.
+func (st *psiState) recordWitness(vs []int32) {
+	if len(vs) == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.witness = append([]int32(nil), vs...)
+	st.mu.Unlock()
+}
+
+// kcoreDec returns the memoized classical k-core decomposition.
+func (vs *verState) kcoreDec() (*kcore.Decomposition, bool) {
+	vs.kmu.Lock()
+	defer vs.kmu.Unlock()
+	if vs.kc != nil {
+		return vs.kc, true
+	}
+	vs.kc = kcore.Decompose(vs.g)
+	return vs.kc, false
 }
 
 // Solve answers q on the Solver's graph: the one entrypoint behind which
-// every algorithm and problem variant dispatches. The result's Stats is
+// every algorithm and problem variant dispatches. Query.Version selects
+// the graph version answered (0 = current head); the result's Stats is
 // the run's QueryStats; on a warm Solver its ReusedDecomposition /
 // ReusedDegrees flags report which memoized state served the query.
 //
@@ -149,6 +320,16 @@ func (s *Solver) Solve(ctx context.Context, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	vs, err := s.state(nq.Version)
+	if err != nil {
+		return nil, err
+	}
+	return s.solveOn(ctx, nq, o, vs)
+}
+
+// solveOn answers a normalized query on one version's state (shared by
+// Solve and Snapshot.Solve).
+func (s *Solver) solveOn(ctx context.Context, nq Query, o motif.Oracle, vs *verState) (*Result, error) {
 	// Root the run's trace (a no-op chain when ctx carries no tracer; see
 	// internal/obs). Child phases — decompose, locate, per-component
 	// search, pre-solve, flow — attach under this span, and the finished
@@ -158,10 +339,11 @@ func (s *Solver) Solve(ctx context.Context, q Query) (*Result, error) {
 	if sp != nil {
 		sp.SetAttr("algo", string(nq.Algo))
 		sp.SetAttr("psi", o.Name())
+		sp.SetInt("version", int64(vs.ver))
 		ctx = obs.WithSpan(ctx, tr, sp)
 	}
 	start := time.Now()
-	res, err := s.dispatch(ctx, nq, o)
+	res, err := s.dispatch(ctx, nq, o, vs)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -173,69 +355,84 @@ func (s *Solver) Solve(ctx context.Context, q Query) (*Result, error) {
 	return res, nil
 }
 
-// dispatch routes a normalized query to its algorithm.
-func (s *Solver) dispatch(ctx context.Context, q Query, o motif.Oracle) (*Result, error) {
+// dispatch routes a normalized query to its algorithm, on one version's
+// graph and memo.
+func (s *Solver) dispatch(ctx context.Context, q Query, o motif.Oracle, vs *verState) (*Result, error) {
+	g := vs.g
 	switch q.Algo {
 	case AlgoCoreExact:
 		return await(ctx, func() (*Result, error) {
-			st := s.psiFor(o)
+			st := vs.psiFor(o)
 			workers := q.Workers
 			if workers < 1 {
 				workers = 1
 			}
 			decStart := time.Now()
 			dsp := obs.StartFromContext(ctx, obs.SpanDecompose)
-			dec, reused, err := st.decomposition(ctx, s.g, workers)
+			dec, reused, bounded, err := st.coreExactDec(ctx, g, workers)
 			if reused {
 				dsp.SetAttr("reused", "true")
+			}
+			if bounded {
+				dsp.SetAttr("bounded", "true")
 			}
 			dsp.End()
 			if err != nil {
 				return nil, err
 			}
 			decTime := time.Since(decStart)
+			opts := q.coreOptions()
+			opts.DecUpperBound = bounded
+			if len(opts.SeedWitness) == 0 {
+				// Warm-start from the previous solve's certificate (carried
+				// across Apply): PlanCoreExact re-evaluates the witness's
+				// exact density on this graph before trusting it.
+				opts.SeedWitness = st.seedWitness()
+			}
 			var res *Result
 			if c, ok := o.(motif.Clique); ok {
-				res, err = core.CoreExactWithState(ctx, s.g, c.H, q.coreOptions(), dec)
+				res, err = core.CoreExactWithState(ctx, g, c.H, opts, dec)
 			} else {
-				res, err = core.CorePExactWithState(ctx, s.g, q.Pattern, q.coreOptions(), dec)
+				res, err = core.CorePExactWithState(ctx, g, q.Pattern, opts, dec)
 			}
 			if err != nil {
 				return nil, err
 			}
+			st.recordWitness(res.Vertices)
 			stampDecompose(res, reused, decTime)
+			res.Stats.BoundedCores = bounded
 			return res, nil
 		})
 	case AlgoExact:
 		return await(ctx, func() (*Result, error) {
 			if c, ok := o.(motif.Clique); ok {
-				return core.Exact(s.g, c.H), nil
+				return core.Exact(g, c.H), nil
 			}
-			return core.PExact(s.g, q.Pattern), nil
+			return core.PExact(g, q.Pattern), nil
 		})
 	case AlgoPeel:
 		return await(ctx, func() (*Result, error) {
-			st := s.psiFor(o)
+			st := vs.psiFor(o)
 			decStart := time.Now()
 			// Memo computes run detached: an orphaned run completes the
 			// memo for the next query instead of discarding it.
-			dec, reused, err := st.decomposition(context.Background(), s.g, 1)
+			dec, reused, err := st.decomposition(context.Background(), g, 1)
 			if err != nil {
 				return nil, err
 			}
-			res := core.PeelAppWithState(s.g, o, dec)
+			res := core.PeelAppWithState(g, o, dec)
 			stampDecompose(res, reused, time.Since(decStart))
 			return res, nil
 		})
 	case AlgoInc:
 		return await(ctx, func() (*Result, error) {
-			st := s.psiFor(o)
+			st := vs.psiFor(o)
 			decStart := time.Now()
-			dec, reused, err := st.decomposition(context.Background(), s.g, 1)
+			dec, reused, err := st.decomposition(context.Background(), g, 1)
 			if err != nil {
 				return nil, err
 			}
-			res := core.IncAppWithState(s.g, o, dec)
+			res := core.IncAppWithState(g, o, dec)
 			stampDecompose(res, reused, time.Since(decStart))
 			return res, nil
 		})
@@ -243,21 +440,21 @@ func (s *Solver) dispatch(ctx context.Context, q Query, o motif.Oracle) (*Result
 		// CoreApp's whole point is extracting the kmax-core top-down
 		// without the full decomposition, so there is no per-Ψ state
 		// worth memoizing for it.
-		return await(ctx, func() (*Result, error) { return core.CoreApp(s.g, o), nil })
+		return await(ctx, func() (*Result, error) { return core.CoreApp(g, o), nil })
 	case AlgoNucleus:
 		return await(ctx, func() (*Result, error) {
-			st := s.psiFor(o)
+			st := vs.psiFor(o)
 			decStart := time.Now()
-			dec, reused := st.nucleus(s.g)
-			res := core.NucleusWithState(s.g, o, dec)
+			dec, reused := st.nucleus(g)
+			res := core.NucleusWithState(g, o, dec)
 			stampDecompose(res, reused, time.Since(decStart))
 			return res, nil
 		})
 	case AlgoAnchored:
 		return await(ctx, func() (*Result, error) {
 			decStart := time.Now()
-			dec, reused := s.kcoreDec()
-			res, err := core.QueryDensestWithState(s.g, q.Anchors, dec)
+			dec, reused := vs.kcoreDec()
+			res, err := core.QueryDensestWithState(g, q.Anchors, dec)
 			if err != nil {
 				return nil, err
 			}
@@ -266,9 +463,9 @@ func (s *Solver) dispatch(ctx context.Context, q Query, o motif.Oracle) (*Result
 		})
 	case AlgoBatchPeel:
 		return await(ctx, func() (*Result, error) {
-			st := s.psiFor(o)
-			total, deg, reused := st.degrees(s.g)
-			res, err := core.BatchPeelWithState(s.g, o, q.Eps, total, deg)
+			st := vs.psiFor(o)
+			total, deg, reused := st.degrees(g)
+			res, err := core.BatchPeelWithState(g, o, q.Eps, total, deg)
 			if err != nil {
 				return nil, err
 			}
@@ -277,9 +474,9 @@ func (s *Solver) dispatch(ctx context.Context, q Query, o motif.Oracle) (*Result
 		})
 	case AlgoAtLeast:
 		return await(ctx, func() (*Result, error) {
-			st := s.psiFor(o)
-			total, deg, reused := st.degrees(s.g)
-			res, err := core.PeelAppAtLeastWithState(s.g, o, q.AtLeast, total, deg)
+			st := vs.psiFor(o)
+			total, deg, reused := st.degrees(g)
+			res, err := core.PeelAppAtLeastWithState(g, o, q.AtLeast, total, deg)
 			if err != nil {
 				return nil, err
 			}
