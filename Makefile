@@ -3,10 +3,10 @@
 # before pushing and the gates cannot surprise you.
 
 GO ?= go
-BENCH_OUT ?= BENCH_7.json
-BENCH_PREV ?= BENCH_6.json
+BENCH_OUT ?= BENCH_8.json
+BENCH_PREV ?= BENCH_7.json
 
-.PHONY: check fmt vet build test race bench bench-compare api e2e-shard obs clean
+.PHONY: check fmt vet build test race bench bench-compare api e2e-shard obs chaos clean
 
 check: fmt vet build race
 
@@ -41,6 +41,17 @@ bench:
 # Diff the fresh artifact against the previous trajectory point.
 bench-compare: bench
 	$(GO) run ./cmd/dsdbench -compare $(BENCH_PREV) $(BENCH_OUT)
+
+# The resilience gate, exactly as CI's chaos job runs it: the fault
+# policies (backoff, breaker) and the injection harness in full, the
+# deterministic chaos schedules against a live coordinator, and the
+# degradation-certification tests — all under -race, because the whole
+# point is correctness under concurrent faults.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/resilience
+	$(GO) test -race -count=1 -run Chaos ./internal/shard
+	$(GO) test -race -count=1 -run 'Gap|Deadline|GenerousBudgets' ./internal/core
+	$(GO) test -race -count=1 -run 'TestEngineAdmission|TestHTTPShed|TestUnboundedQueue' ./internal/service
 
 # The observability smoke: the tracing/metrics/logging tests across the
 # obs core, the engine, the shards, and the CLIs, under -race, plus a

@@ -77,6 +77,8 @@ func run(args []string, out io.Writer) error {
 	b.Anchors(fs, "anchors")
 	b.AtLeast(fs, "at-least")
 	b.Eps(fs, "eps")
+	b.Deadline(fs, "deadline")
+	b.Gap(fs, "gap")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,6 +180,10 @@ func emit(out io.Writer, graphName string, g *dsd.Graph, q dsd.Query, res *dsd.R
 	fmt.Fprintf(out, "motif: %s  algorithm: %s\n", q.Psi(), q.Algo)
 	fmt.Fprintf(out, "densest subgraph: |V|=%d  µ=%d  ρ=%.6f  time=%s\n",
 		len(res.Vertices), res.Mu, res.Density.Float(), res.Stats.Total)
+	if res.Degraded {
+		fmt.Fprintf(out, "degraded: optimum in [%.6f, %.6f] (budget exhausted before exactness)\n",
+			res.Bound.Lower.Float(), res.Bound.Upper)
+	}
 	if printVerts {
 		for _, v := range res.Vertices {
 			fmt.Fprintln(out, v)

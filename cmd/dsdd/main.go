@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	dsdd [-addr :8080] [-workers 8] [-algo-workers 2] [-algo-iterative 16]
+//	dsdd [-addr :8080] [-workers 8] [-queue 32] [-algo-workers 2]
+//	     [-algo-iterative 16]
 //	     [-timeout 30s] [-graph name=edges.txt ...] [-allow-paths]
 //	     [-retain 8]
 //	     [-shards http://w1:8080,http://w2:8080] [-shard-hedge 3s]
-//	     [-shard-timeout 0] [-shard-of http://coordinator:8080]
+//	     [-shard-timeout 0] [-shard-bound-timeout 2s]
+//	     [-shard-of http://coordinator:8080]
 //	     [-advertise http://host:port]
 //	     [-log-level info] [-log-format text] [-slow-query 0]
 //	     [-trace=true] [-pprof]
@@ -158,11 +160,13 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 	var (
 		addr         = fs.String("addr", ":8080", "listen address")
 		workers      = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+		queueDepth   = fs.Int("queue", 0, "admission queue depth beyond the running workers; arrivals past it are shed with 503 (0 = 4x workers, negative = unbounded)")
 		timeout      = fs.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
 		allowPaths   = fs.Bool("allow-paths", false, "allow registering graphs from server file paths via the API")
 		shards       = fs.String("shards", "", "comma-separated shard worker base URLs; non-empty makes this server coordinate core-exact queries across them")
 		shardHedge   = fs.Duration("shard-hedge", 0, "straggler delay before a slow shard's component is duplicated locally (0 = default, negative = off)")
 		shardTimeout = fs.Duration("shard-timeout", 0, "per-component remote attempt timeout (0 = query budget only)")
+		shardBoundTO = fs.Duration("shard-bound-timeout", 0, "per-rebroadcast timeout for shard bound updates (0 = default 2s)")
 		shardOf      = fs.String("shard-of", "", "coordinator base URL to register this server with as a shard worker")
 		advertise    = fs.String("advertise", "", "base URL to advertise to the coordinator (default: the resolved listen address)")
 		logLevel     = fs.String("log-level", "info", "minimum log level (debug|info|warn|error)")
@@ -208,16 +212,18 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 		logger.Debug("preloaded graph", "name", name, "path", path)
 	}
 	srv := service.NewServer(reg, service.Config{
-		Workers:       *workers,
-		AlgoWorkers:   q.Workers,
-		AlgoIterative: q.Iterative,
-		Timeout:       *timeout,
-		ShardAddrs:    shardAddrs,
-		ShardHedge:    *shardHedge,
-		ShardTimeout:  *shardTimeout,
-		Logger:        logger,
-		SlowQuery:     *slowQuery,
-		NoTrace:       !*trace,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		AlgoWorkers:       q.Workers,
+		AlgoIterative:     q.Iterative,
+		Timeout:           *timeout,
+		ShardAddrs:        shardAddrs,
+		ShardHedge:        *shardHedge,
+		ShardTimeout:      *shardTimeout,
+		ShardBoundTimeout: *shardBoundTO,
+		Logger:            logger,
+		SlowQuery:         *slowQuery,
+		NoTrace:           !*trace,
 	})
 	if *allowPaths {
 		srv.AllowPathRegistration()

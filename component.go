@@ -34,6 +34,10 @@ type ComponentPlan struct {
 	LowerNum int64
 	LowerDen int64
 	Witness  []int32
+	// Uppers[i] is a certified upper bound on Components[i]'s optimum
+	// density — what a deadline-degrading coordinator reports as its
+	// interval top for components the deadline left unsearched.
+	Uppers []float64
 	// Empty reports the graph holds no Ψ-instance: the answer is the
 	// empty subgraph and no component search needs to run.
 	Empty bool
@@ -97,6 +101,7 @@ func (s *Solver) PlanComponents(ctx context.Context, q Query) (*ComponentPlan, e
 		LowerNum:            plan.Lower.Num,
 		LowerDen:            plan.Lower.Den,
 		Witness:             plan.Witness,
+		Uppers:              plan.Uppers,
 		Empty:               plan.Empty(),
 		Decompose:           decTime,
 		ReusedDecomposition: reused,
@@ -147,6 +152,9 @@ type ComponentResult struct {
 	Elapsed      time.Duration
 	FlowTime     time.Duration
 	PreSolveTime time.Duration
+	// Upper is the search's final certified upper bound on the
+	// component's optimum density (see core.ComponentOutcome.Upper).
+	Upper float64
 }
 
 // SolveComponent runs one per-component CoreExact binary search (with
@@ -185,7 +193,13 @@ func (s *Solver) SolveComponent(ctx context.Context, q Query, comp []int32, kLoc
 	if err != nil {
 		return nil, err
 	}
-	out, err := core.SearchComponent(ctx, vs.g, o, dec, nq.coreOptions(), floor.cell, comp, kLocate)
+	opts := nq.coreOptions()
+	// Degradation budgets are a whole-query policy the coordinator owns:
+	// a worker degrading its own slice independently would break the
+	// merged certificate, so component searches always run exact.
+	opts.Deadline = 0
+	opts.Gap = 0
+	out, err := core.SearchComponent(ctx, vs.g, o, dec, opts, floor.cell, comp, kLocate)
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +213,7 @@ func (s *Solver) SolveComponent(ctx context.Context, q Query, comp []int32, kLoc
 		Elapsed:         time.Since(start),
 		FlowTime:        out.FlowTime,
 		PreSolveTime:    out.PreSolveTime,
+		Upper:           out.Upper,
 	}, nil
 }
 

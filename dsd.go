@@ -60,8 +60,15 @@ type Builder = graph.Builder
 type Pattern = pattern.Pattern
 
 // Result is a densest-subgraph answer (vertex set, µ, exact density);
-// its Stats field carries the run's QueryStats.
+// its Stats field carries the run's QueryStats. A Result whose Degraded
+// flag is set is a certified approximation (the deadline or accuracy
+// budget of its Query stopped the exact search); its Bound brackets the
+// true optimum.
 type Result = core.Result
+
+// Bound is a degraded Result's certified density interval: the optimum
+// lies in [Lower, Upper].
+type Bound = core.Bound
 
 // Density is an exact rational density µ/n.
 type Density = rational.R

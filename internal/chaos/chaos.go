@@ -1,0 +1,231 @@
+// Package chaos is a deterministic fault-injection harness for the
+// serving stack. A Transport wraps an http.RoundTripper and applies a
+// seeded, schedule-driven fault plan — latency spikes, synthesized 5xx
+// responses, connection kills, slow-loris bodies — to matching requests,
+// counting every injection. It plugs into the shard coordinator's HTTP
+// client (shard.Config.HTTPClient) and, via Hook, into the engine's
+// compute path, so the chaos suite can prove that injected faults move
+// counters but never answers.
+//
+// Determinism: "every Nth request" rules trigger on exact per-rule
+// atomic counters, and probabilistic rules draw from one seeded PRNG, so
+// a fixed seed and request sequence reproduce the same fault schedule.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is an injectable failure mode.
+type Fault string
+
+const (
+	// FaultLatency delays the request by Rule.Delay, then forwards it.
+	FaultLatency Fault = "latency"
+	// Fault5xx synthesizes an HTTP error response (Rule.Status, default
+	// 503, with Rule.RetryAfter when set) without forwarding.
+	Fault5xx Fault = "5xx"
+	// FaultKill fails the round trip with a transport error, as a
+	// mid-flight connection reset would.
+	FaultKill Fault = "kill"
+	// FaultSlowBody forwards the request but trickles the response body
+	// a few bytes per Rule.Delay — a slow-loris server.
+	FaultSlowBody Fault = "slow-body"
+)
+
+// Rule schedules one fault over matching requests.
+type Rule struct {
+	// Match selects requests whose URL path contains it ("" = all).
+	Match string
+	// Fault is the failure mode to inject.
+	Fault Fault
+	// Every injects on every Nth matching request (1 = all). Zero defers
+	// to Prob; both zero means every matching request.
+	Every int
+	// Prob injects with this probability per matching request, drawn
+	// from the transport's seeded PRNG. Ignored when Every > 0.
+	Prob float64
+	// Count caps the total injections of this rule (0 = unlimited).
+	Count int
+	// Delay is the latency spike (FaultLatency) or per-chunk trickle
+	// interval (FaultSlowBody). Defaults to 10ms.
+	Delay time.Duration
+	// Status is Fault5xx's response code (default 503 Service
+	// Unavailable).
+	Status int
+	// RetryAfter, when non-empty, is Fault5xx's Retry-After header.
+	RetryAfter string
+}
+
+type ruleState struct {
+	Rule
+	seen     atomic.Int64 // matching requests observed
+	injected atomic.Int64 // faults actually injected
+}
+
+// Transport applies a fault schedule in front of a base RoundTripper.
+type Transport struct {
+	base  http.RoundTripper
+	rules []*ruleState
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the given
+// fault schedule. seed drives the probabilistic rules.
+func NewTransport(base http.RoundTripper, seed int64, rules ...Rule) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	t := &Transport{base: base, rng: rand.New(rand.NewSource(seed))}
+	for _, r := range rules {
+		if r.Delay <= 0 {
+			r.Delay = 10 * time.Millisecond
+		}
+		if r.Status == 0 {
+			r.Status = http.StatusServiceUnavailable
+		}
+		t.rules = append(t.rules, &ruleState{Rule: r})
+	}
+	return t
+}
+
+// fires reports whether r injects on this (matching) request.
+func (t *Transport) fires(r *ruleState) bool {
+	n := r.seen.Add(1)
+	if r.Count > 0 && r.injected.Load() >= int64(r.Count) {
+		return false
+	}
+	switch {
+	case r.Every > 0:
+		if n%int64(r.Every) != 0 {
+			return false
+		}
+	case r.Prob > 0:
+		t.mu.Lock()
+		roll := t.rng.Float64()
+		t.mu.Unlock()
+		if roll >= r.Prob {
+			return false
+		}
+	}
+	r.injected.Add(1)
+	return true
+}
+
+// RoundTrip applies the first firing rule, then (for pass-through
+// faults) forwards to the base transport.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	for _, r := range t.rules {
+		if r.Match != "" && !strings.Contains(req.URL.Path, r.Match) {
+			continue
+		}
+		if !t.fires(r) {
+			continue
+		}
+		switch r.Fault {
+		case FaultLatency:
+			select {
+			case <-time.After(r.Delay):
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			}
+			// fall through to the base transport below
+		case Fault5xx:
+			h := make(http.Header)
+			h.Set("Content-Type", "text/plain; charset=utf-8")
+			if r.RetryAfter != "" {
+				h.Set("Retry-After", r.RetryAfter)
+			}
+			body := fmt.Sprintf("chaos: injected %d\n", r.Status)
+			return &http.Response{
+				Status:        fmt.Sprintf("%d %s", r.Status, http.StatusText(r.Status)),
+				StatusCode:    r.Status,
+				Proto:         "HTTP/1.1",
+				ProtoMajor:    1,
+				ProtoMinor:    1,
+				Header:        h,
+				Body:          io.NopCloser(strings.NewReader(body)),
+				ContentLength: int64(len(body)),
+				Request:       req,
+			}, nil
+		case FaultKill:
+			return nil, fmt.Errorf("chaos: connection killed (%s)", req.URL.Path)
+		case FaultSlowBody:
+			resp, err := t.base.RoundTrip(req)
+			if err != nil {
+				return nil, err
+			}
+			resp.Body = &trickleReader{rc: resp.Body, delay: r.Delay, chunk: 64}
+			return resp, nil
+		}
+		break // one fault per request
+	}
+	return t.base.RoundTrip(req)
+}
+
+// Injected returns the per-rule injection counts, keyed
+// "fault[:match]" — the chaos suite's proof that the schedule actually
+// fired.
+func (t *Transport) Injected() map[string]int64 {
+	out := make(map[string]int64, len(t.rules))
+	for _, r := range t.rules {
+		key := string(r.Fault)
+		if r.Match != "" {
+			key += ":" + r.Match
+		}
+		out[key] += r.injected.Load()
+	}
+	return out
+}
+
+// Total returns the total number of faults injected across all rules.
+func (t *Transport) Total() int64 {
+	var n int64
+	for _, r := range t.rules {
+		n += r.injected.Load()
+	}
+	return n
+}
+
+// trickleReader doles the wrapped body out chunk bytes per delay.
+type trickleReader struct {
+	rc    io.ReadCloser
+	delay time.Duration
+	chunk int
+}
+
+func (t *trickleReader) Read(p []byte) (int, error) {
+	time.Sleep(t.delay)
+	if len(p) > t.chunk {
+		p = p[:t.chunk]
+	}
+	return t.rc.Read(p)
+}
+
+func (t *trickleReader) Close() error { return t.rc.Close() }
+
+// Hook returns a deterministic compute-path hook: every Nth call sleeps
+// for delay. It plugs into service.Config.ComputeHook so engine-side
+// latency chaos is injectable without touching the HTTP layer. A Hook
+// with every ≤ 0 never fires.
+func Hook(every int, delay time.Duration) (func(), *atomic.Int64) {
+	var n, fired atomic.Int64
+	return func() {
+		if every <= 0 {
+			return
+		}
+		if n.Add(1)%int64(every) == 0 {
+			fired.Add(1)
+			time.Sleep(delay)
+		}
+	}, &fired
+}

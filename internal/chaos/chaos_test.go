@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, strings.Repeat("x", 512))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return resp, err
+}
+
+func TestEveryNthInjection(t *testing.T) {
+	srv := newBackend(t)
+	tr := NewTransport(srv.Client().Transport, 1, Rule{Fault: Fault5xx, Every: 3})
+	c := &http.Client{Transport: tr}
+	var codes []int
+	for i := 0; i < 9; i++ {
+		resp, err := get(t, c, srv.URL+"/v3/component")
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{200, 200, 503, 200, 200, 503, 200, 200, 503}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("request %d: status %d, want %d (full: %v)", i, codes[i], want[i], codes)
+		}
+	}
+	if got := tr.Injected()["5xx"]; got != 3 {
+		t.Fatalf("injected count %d, want 3", got)
+	}
+}
+
+func TestMatchAndCountCap(t *testing.T) {
+	srv := newBackend(t)
+	tr := NewTransport(srv.Client().Transport, 1,
+		Rule{Match: "/v3/component", Fault: FaultKill, Every: 1, Count: 2})
+	c := &http.Client{Transport: tr}
+	// Non-matching path: never faulted.
+	if _, err := get(t, c, srv.URL+"/v1/health"); err != nil {
+		t.Fatalf("non-matching request faulted: %v", err)
+	}
+	// Matching path: killed exactly Count times, then passes.
+	for i := 0; i < 2; i++ {
+		if _, err := get(t, c, srv.URL+"/v3/component"); err == nil {
+			t.Fatalf("kill %d not injected", i)
+		}
+	}
+	if _, err := get(t, c, srv.URL+"/v3/component"); err != nil {
+		t.Fatalf("count cap not honored: %v", err)
+	}
+	if tr.Total() != 2 {
+		t.Fatalf("total %d, want 2", tr.Total())
+	}
+}
+
+func TestRetryAfterHeaderOn5xx(t *testing.T) {
+	srv := newBackend(t)
+	tr := NewTransport(srv.Client().Transport, 1,
+		Rule{Fault: Fault5xx, Every: 1, RetryAfter: "2"})
+	resp, err := get(t, &http.Client{Transport: tr}, srv.URL+"/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", ra)
+	}
+}
+
+func TestLatencyAndSlowBodyStillAnswer(t *testing.T) {
+	srv := newBackend(t)
+	tr := NewTransport(srv.Client().Transport, 1,
+		Rule{Match: "/lat", Fault: FaultLatency, Every: 1, Delay: 30 * time.Millisecond},
+		Rule{Match: "/slow", Fault: FaultSlowBody, Every: 1, Delay: 2 * time.Millisecond},
+	)
+	c := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, err := get(t, c, srv.URL+"/lat")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("latency fault broke the request: %v %v", err, resp)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency fault did not delay (took %v)", d)
+	}
+	resp, err = c.Get(srv.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 512 {
+		t.Fatalf("slow body corrupted the payload: err=%v len=%d", err, len(body))
+	}
+	if tr.Total() != 2 {
+		t.Fatalf("total %d, want 2", tr.Total())
+	}
+}
+
+func TestSeededProbDeterministic(t *testing.T) {
+	srv := newBackend(t)
+	run := func() []int {
+		tr := NewTransport(srv.Client().Transport, 99, Rule{Fault: Fault5xx, Prob: 0.5})
+		c := &http.Client{Transport: tr}
+		var codes []int
+		for i := 0; i < 20; i++ {
+			resp, err := get(t, c, srv.URL+"/p")
+			if err != nil {
+				t.Fatal(err)
+			}
+			codes = append(codes, resp.StatusCode)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestEveryCounterUnderConcurrency(t *testing.T) {
+	srv := newBackend(t)
+	tr := NewTransport(srv.Client().Transport, 1, Rule{Fault: Fault5xx, Every: 4})
+	c := &http.Client{Transport: tr}
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			get(t, c, srv.URL+"/c")
+		}()
+	}
+	wg.Wait()
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("injected %d of 40 requests at Every=4, want exactly 10", got)
+	}
+}
+
+func TestHook(t *testing.T) {
+	hook, fired := Hook(2, time.Millisecond)
+	for i := 0; i < 6; i++ {
+		hook()
+	}
+	if fired.Load() != 3 {
+		t.Fatalf("hook fired %d times of 6 at every=2, want 3", fired.Load())
+	}
+	never, firedNever := Hook(0, time.Millisecond)
+	never()
+	if firedNever.Load() != 0 {
+		t.Fatalf("disabled hook fired")
+	}
+}

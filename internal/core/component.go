@@ -39,6 +39,12 @@ type ComponentOutcome struct {
 	// solves and Greed++ pre-solve runs (see Stats.FlowTime).
 	FlowTime     time.Duration
 	PreSolveTime time.Duration
+	// Upper is the search's final certified upper bound on the
+	// component's optimum density (core-number, Greed++ max-load/T, or
+	// infeasible-probe certificate, whichever ended tightest). A
+	// deadline-degrading coordinator takes the max over surviving Uppers
+	// as its interval top.
+	Upper float64
 }
 
 // SearchComponent runs the per-component binary search of Algorithm 4
@@ -59,7 +65,8 @@ func SearchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 	n := g.N()
 	globalStop := 1.0 / (float64(n) * float64(n-1))
 	tr := &trackingBounds{inner: bounds}
-	cs, err := searchComponent(ctx, g, o, dec, opts, tr, comp, kLocate, globalStop, int64(o.Size()))
+	slots := newUpperSlots([]float64{float64(maxCoreOf(comp, dec))})
+	cs, err := searchComponent(ctx, g, o, dec, opts, tr, comp, kLocate, globalStop, int64(o.Size()), &slots[0])
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +80,7 @@ func SearchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		PreSolveSkip:  cs.preSkip,
 		FlowTime:      cs.flowNS,
 		PreSolveTime:  cs.preNS,
+		Upper:         slots[0].get(),
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/psicore"
 	"repro/internal/rational"
+	"repro/internal/resilience"
 )
 
 // Options selects CoreExact's pruning strategies (Figure 10 ablates them
@@ -61,6 +63,22 @@ type Options struct {
 	// only fail to help, never change the answer: exactness is
 	// unconditional. Vertex ids outside the graph invalidate the seed.
 	SeedWitness []int32
+	// Deadline is the graceful-degradation time budget (0 disables it).
+	// When set, planning and the component searches run under a deadline
+	// of Deadline from entry; searches the deadline interrupts return
+	// their best certified state instead of an error, and the run's Result
+	// comes back Degraded with a Bound interval containing the optimum.
+	// A deadline that fires during planning — before any certified
+	// (lower, witness) pair exists — still returns the deadline error:
+	// degradation begins once there is something sound to return.
+	Deadline time.Duration
+	// Gap is the graceful-degradation accuracy budget (0 demands
+	// exactness): a component search may stop once its certified upper
+	// bound is within a factor (1+Gap) of the shared lower bound. The
+	// returned density d then satisfies ρopt ≤ d·(1+Gap), and the Result
+	// is Degraded with the certified Bound unless the searches happened to
+	// prove exactness anyway.
+	Gap float64
 	// DecUpperBound marks the supplied decomposition's core numbers as
 	// pointwise UPPER bounds on the true core numbers rather than exact
 	// values — typically a pre-mutation peel carried across an edge batch
@@ -173,6 +191,12 @@ type Plan struct {
 	// before any component search runs.
 	Lower   rational.R
 	Witness []int32
+	// Uppers[i] is a certified upper bound on Components[i]'s optimum
+	// density (its maximum Ψ-core number — the optimum D has min internal
+	// Ψ-degree ≥ ρ(D), so every vertex of D has core number ≥ ρ(D)).
+	// Degraded runs report max(Lower, remaining Uppers) as the interval
+	// top; searches tighten their slot as better certificates appear.
+	Uppers []float64
 	// Stats carries the location phase's share of the run stats
 	// (Decompose timing, ReusedDecomposition).
 	Stats Stats
@@ -317,20 +341,37 @@ func PlanCoreExact(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Opt
 	}
 	lsp.SetInt("components", int64(len(components)))
 	lsp.SetInt("k_locate", kLocate)
+	uppers := make([]float64, len(components))
+	for i, c := range components {
+		uppers[i] = float64(maxCoreOf(c, dec))
+	}
 	return &Plan{
 		Dec:        dec,
 		Components: components,
 		KLocate:    kLocate,
 		Lower:      lower,
 		Witness:    witness,
+		Uppers:     uppers,
 		Stats:      stats,
 	}, nil
 }
 
 func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, opts Options, dec *psicore.Decomposition) (*Result, error) {
 	start := time.Now()
-	plan, err := PlanCoreExact(ctx, g, o, opts, dec)
+	// Graceful degradation: the searches run under the deadline-bounded
+	// dctx, while the caller's ctx stays the authority on real
+	// cancellation. A search the deadline stops returns ctx.Err(); the
+	// driver reclassifies that as "stop and degrade" when — and only when
+	// — the outer ctx is still alive.
+	dctx := ctx
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = resilience.WallDeadline(ctx, start.Add(opts.Deadline))
+		defer cancel()
+	}
+	plan, err := PlanCoreExact(dctx, g, o, opts, dec)
 	if err != nil {
+		// A deadline mid-plan leaves nothing certified to return.
 		return nil, err
 	}
 	stats := plan.Stats
@@ -357,21 +398,34 @@ func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, o
 	cell := &boundCell{lower: plan.Lower, witness: plan.Witness}
 	perComp := make([]compStats, len(plan.Components))
 	errs := make([]error, len(plan.Components))
+	slots := newUpperSlots(plan.Uppers)
 	runIndexed(workers, len(plan.Components), func(i int) {
 		perComp[i], errs[i] = searchComponent(
-			ctx, g, o, plan.Dec, opts, cell, plan.Components[i], plan.KLocate, globalStop, p)
+			dctx, g, o, plan.Dec, opts, cell, plan.Components[i], plan.KLocate, globalStop, p, &slots[i])
 	})
+	deadlined := false
 	for _, err := range errs {
 		if err != nil {
+			// Search errors are only ever context errors (the searches poll
+			// ctx); outer ctx alive + dctx dead identifies the degradation
+			// deadline as the cause, for every component at once.
+			if opts.Deadline > 0 && ctx.Err() == nil && dctx.Err() != nil {
+				deadlined = true
+				break
+			}
 			return nil, err
 		}
 	}
+	gapped := false
 	for _, cs := range perComp {
 		stats.FlowNodes = append(stats.FlowNodes, cs.flowNodes...)
 		stats.Iterations += cs.iterations
 		stats.PreSolveIters += cs.preIters
 		if cs.preSkip {
 			stats.PreSolveSkips++
+		}
+		if cs.gapStop {
+			gapped = true
 		}
 		stats.FlowTime += cs.flowNS
 		stats.PreSolveTime += cs.preNS
@@ -381,8 +435,60 @@ func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, o
 	res := evaluate(g, o, witness)
 	res.Stats = stats
 	res.Stats.Total = time.Since(start)
+	if deadlined || gapped {
+		// The interval top: every component optimum sits at or below its
+		// slot, so ρopt ≤ max(returned density, max slot). When that max
+		// does not exceed the returned density the searches proved
+		// exactness after all (every early stop was overtaken by the
+		// shared bound) and the answer is not degraded.
+		upper := res.Density.Float()
+		for i := range slots {
+			if u := slots[i].get(); u > upper {
+				upper = u
+			}
+		}
+		if res.Density.CmpFloat(upper) < 0 {
+			res.Degraded = true
+			res.Bound = Bound{Lower: res.Density, Upper: upper}
+		}
+	}
 	return res, nil
 }
+
+// upperSlot holds one component's certified upper bound on its optimum
+// density. The owning search lowers it as better certificates appear
+// (solver max-load/T, infeasible probe α, core shrink below p); the
+// driver reads the survivors when a degraded run assembles its Bound.
+// Writes are monotone decreasing; the CAS loop makes concurrent readers
+// safe even though each slot has a single writer.
+type upperSlot struct{ bits atomic.Uint64 }
+
+func newUpperSlots(uppers []float64) []upperSlot {
+	slots := make([]upperSlot, len(uppers))
+	for i, u := range uppers {
+		slots[i].bits.Store(math.Float64bits(u))
+	}
+	return slots
+}
+
+// lower tightens the slot to v when v is smaller; nil slots (plain
+// SearchComponent callers without degradation) are no-ops.
+func (s *upperSlot) lower(v float64) {
+	if s == nil {
+		return
+	}
+	for {
+		old := s.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (s *upperSlot) get() float64 { return math.Float64frombits(s.bits.Load()) }
 
 // compStats is the per-component slice of Stats, merged in component
 // order after the searches so the aggregate is independent of scheduling.
@@ -391,6 +497,7 @@ type compStats struct {
 	iterations int
 	preIters   int
 	preSkip    bool // search concluded without building a flow network
+	gapStop    bool // search stopped at the Options.Gap accuracy budget
 	// flowNS / preNS attribute the component's wall time to flow solves
 	// and Greed++ pre-solve runs (Stats.FlowTime / Stats.PreSolveTime).
 	flowNS time.Duration
@@ -413,7 +520,8 @@ type compStats struct {
 // comparison is exact — rational vs. dyadic float via R.CmpFloat — never
 // a rounded float compare.
 func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition,
-	opts Options, cell BoundSource, comp []int32, kLocate int64, globalStop float64, p int64) (cs compStats, err error) {
+	opts Options, cell BoundSource, comp []int32, kLocate int64, globalStop float64, p int64,
+	slot *upperSlot) (cs compStats, err error) {
 	if err := ctx.Err(); err != nil {
 		return cs, err
 	}
@@ -443,6 +551,9 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		curK = lk
 	}
 	if int64(len(cur)) < p {
+		// Nothing denser than the shared bound survives the shrink, so the
+		// component optimum is at most that bound.
+		slot.lower(lower.Float())
 		return cs, nil
 	}
 
@@ -452,6 +563,7 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 	// component's max core number dominates ρ(D) — tighter than the global
 	// kmax for every component but the one carrying it.
 	uc := float64(maxCoreOf(cur, dec))
+	slot.lower(uc)
 
 	// Pruning3's stop is fixed per component, from the component's own
 	// size: every witness and every candidate subgraph of this search —
@@ -509,11 +621,13 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		// before a single network is built.
 		if lower.Cmp(solver.Upper()) >= 0 {
 			cs.preSkip = true
+			slot.lower(solver.UpperFloat())
 			return cs, nil
 		}
 		if f := solver.UpperFloat(); f < uc {
 			uc = f
 		}
+		slot.lower(uc)
 		// Relocate in a higher core while the state is still flow-free,
 		// warm-starting the solver on the shrunken subgraph.
 		if lk := lower.Ceil(); lk > curK {
@@ -521,6 +635,7 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 			curK = lk
 			if int64(len(cur)) < p {
 				cs.preSkip = true
+				slot.lower(lower.Float())
 				return cs, nil
 			}
 			var err error
@@ -539,11 +654,13 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 			lower = cell.Bound()
 			if lower.Cmp(solver.Upper()) >= 0 {
 				cs.preSkip = true
+				slot.lower(solver.UpperFloat())
 				return cs, nil
 			}
 			if f := solver.UpperFloat(); f < uc {
 				uc = f
 			}
+			slot.lower(uc)
 		}
 		// Gap already below the binary-search stop: the cell's witness is
 		// provably the best this component can contribute — finished with
@@ -561,6 +678,17 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 	} else {
 		sub = g.Induced(cur)
 	}
+	// Accuracy budget (graceful degradation): stop once the certified
+	// interval is within a relative (1+Gap) of the shared lower bound —
+	// the component optimum is at most uc ≤ bound·(1+Gap), which the
+	// driver reports through Result.Bound instead of searching on.
+	if opts.Gap > 0 && !lower.IsZero() && uc <= lower.Float()*(1+opts.Gap) {
+		cs.gapStop = true
+		if opts.Iterative > 0 {
+			cs.preSkip = true
+		}
+		return cs, nil
+	}
 	sd := makeSide(sub.Graph, o, opts.Grouped)
 
 	// Feasibility probe at α = l (lines 7-9): skip the component if
@@ -570,12 +698,17 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 	net := sd.Build(lower.Float())
 	cs.flowNodes = append(cs.flowNodes, sd.Nodes())
 	cs.iterations++
-	vs := net.SolveVertices()
+	vs, ferr := net.SolveVerticesCtx(ctx)
 	fsp.SetInt("nodes", int64(sd.Nodes()))
 	fsp.SetFloat("alpha", lower.Float())
 	fsp.End()
 	cs.flowNS += time.Since(ft)
+	if ferr != nil {
+		return cs, ferr
+	}
 	if len(vs) == 0 {
+		// Infeasible at α = lower: nothing in the component beats it.
+		slot.lower(lower.Float())
 		return cs, nil
 	}
 	best := toOrig(sub, vs)
@@ -600,19 +733,32 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		if uc-lc < stopComp {
 			break
 		}
+		// Accuracy budget mid-search: uc ≤ shared·(1+Gap) certifies the
+		// rest of the interval away.
+		if opts.Gap > 0 && uc <= shared.Float()*(1+opts.Gap) {
+			cs.gapStop = true
+			break
+		}
 		alpha := (lc + uc) / 2
 		ft := time.Now()
 		fsp := tr.Start(obs.SpanFlow, sp)
 		net = sd.Build(alpha)
 		cs.flowNodes = append(cs.flowNodes, sd.Nodes())
 		cs.iterations++
-		vs = net.SolveVertices()
+		vs, ferr = net.SolveVerticesCtx(ctx)
 		fsp.SetInt("nodes", int64(sd.Nodes()))
 		fsp.SetFloat("alpha", alpha)
 		fsp.End()
 		cs.flowNS += time.Since(ft)
+		if ferr != nil {
+			// Abandoned mid-flow: nothing was certified at this α — in
+			// particular uc must NOT come down as if the probe were
+			// infeasible.
+			return cs, ferr
+		}
 		if len(vs) == 0 {
 			uc = alpha
+			slot.lower(uc)
 			continue
 		}
 		lc = alpha
@@ -648,6 +794,7 @@ func searchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 					if f := solver.UpperFloat(); f < uc {
 						uc = f
 					}
+					slot.lower(uc)
 				} else {
 					sub = g.Induced(cur)
 				}

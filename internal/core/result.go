@@ -18,8 +18,30 @@ type Result struct {
 	Mu int64
 	// Density is the exact density µ/|V_D|.
 	Density rational.R
+	// Degraded reports that the run stopped before certifying exactness —
+	// a deadline or accuracy budget (Options.Deadline / Options.Gap) ended
+	// the search early — and the answer is the best certified
+	// approximation held at that moment. Vertices is still a real subgraph
+	// and Density its exact density; only optimality is open, and Bound
+	// says by how much. Exact runs leave Degraded false and Bound zero.
+	Degraded bool
+	// Bound is the certificate of a degraded answer: the optimum density
+	// ρopt satisfies Lower ≤ ρopt ≤ Upper, with Lower the returned
+	// witness's exact density and Upper the maximum surviving
+	// per-component upper bound (core-number, Greed++ max-load/T, and
+	// infeasible-probe certificates, whichever is tightest per component).
+	Bound Bound
 	// Stats carries per-run instrumentation.
 	Stats Stats
+}
+
+// Bound is a certified density interval: the true optimum lies in
+// [Lower, Upper]. Lower is exact (it is a real subgraph's density);
+// Upper is a float but rounded conservatively, never below the true
+// optimum.
+type Bound struct {
+	Lower rational.R
+	Upper float64
 }
 
 // Stats instruments a run for the paper's efficiency figures.

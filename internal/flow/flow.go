@@ -5,7 +5,10 @@
 // explicit residual tolerance.
 package flow
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Eps is the residual-capacity tolerance: edges with residual ≤ Eps are
 // treated as saturated.
@@ -115,10 +118,25 @@ func (f *Network) dfs(v, t int, pushed float64) float64 {
 
 // MaxFlow computes the maximum s-t flow, mutating residual capacities.
 func (f *Network) MaxFlow(s, t int) float64 {
+	total, _ := f.MaxFlowCtx(context.Background(), s, t)
+	return total
+}
+
+// MaxFlowCtx is MaxFlow with cancellation points: the context is polled
+// at every Dinic phase and every 64 augmenting paths, so a
+// deadline-budgeted caller regains control within a fraction of a full
+// run instead of waiting out the whole min-cut. On cancellation the
+// partial flow is abandoned (the network's residual state is
+// meaningless) and the context's error is returned.
+func (f *Network) MaxFlowCtx(ctx context.Context, s, t int) (float64, error) {
 	f.level = grow(f.level, f.N())
 	f.iter = grow(f.iter, f.N())
 	var total float64
+	paths := 0
 	for f.bfs(s, t) {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
 		for i := range f.iter {
 			f.iter[i] = 0
 		}
@@ -128,9 +146,14 @@ func (f *Network) MaxFlow(s, t int) float64 {
 				break
 			}
 			total += d
+			if paths++; paths%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return total, err
+				}
+			}
 		}
 	}
-	return total
+	return total, nil
 }
 
 // grow returns s resized to n elements, reusing its array when it is

@@ -13,6 +13,8 @@
 package flownet
 
 import (
+	"context"
+
 	"repro/internal/clique"
 	"repro/internal/flow"
 	"repro/internal/graph"
@@ -39,7 +41,18 @@ func VertexNode(v int) int { return VertexBase + v }
 // SolveVertices runs max-flow/min-cut and returns the graph vertices on
 // the source side, or nil when the cut is {s} (no subgraph denser than α).
 func (n *Net) SolveVertices() []int32 {
-	n.MaxFlow(Source, Sink)
+	vs, _ := n.SolveVerticesCtx(context.Background())
+	return vs
+}
+
+// SolveVerticesCtx is SolveVertices with cancellation points inside the
+// max-flow run (see flow.MaxFlowCtx). On cancellation nothing is
+// certified: the cut is not computed and the context's error returns —
+// callers must not read an "infeasible at α" out of the nil slice.
+func (n *Net) SolveVerticesCtx(ctx context.Context) ([]int32, error) {
+	if _, err := n.MaxFlowCtx(ctx, Source, Sink); err != nil {
+		return nil, err
+	}
 	inS := n.MinCutSource(Source)
 	var vs []int32
 	for v := 0; v < n.NVertices; v++ {
@@ -47,7 +60,7 @@ func (n *Net) SolveVertices() []int32 {
 			vs = append(vs, int32(v))
 		}
 	}
-	return vs
+	return vs, nil
 }
 
 // recycle returns f reset to n nodes, or a fresh network when f is nil:

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	dsd "repro"
 )
@@ -35,6 +36,8 @@ type Builder struct {
 	anchors    *string
 	atLeast    *int
 	eps        *float64
+	deadline   *time.Duration
+	gap        *float64
 }
 
 // New returns an empty builder.
@@ -92,6 +95,22 @@ func (b *Builder) Eps(fs *flag.FlagSet, name string) {
 	b.eps = fs.Float64(name, 0, "batch-peel slack ε > 0 (selects algo=batch-peel)")
 }
 
+// Deadline registers the core-exact degradation deadline flag: a
+// wall-clock budget after which the best certified answer returns with
+// Degraded bounds instead of running to exactness (0 = off).
+func (b *Builder) Deadline(fs *flag.FlagSet, name string) {
+	b.deadline = fs.Duration(name, 0,
+		"core-exact degradation deadline, e.g. 500ms: return the best certified answer with bounds when exceeded (0 = exact)")
+}
+
+// Gap registers the core-exact accuracy-budget flag: component searches
+// may stop once their bound interval is within this relative gap
+// (0 = exact).
+func (b *Builder) Gap(fs *flag.FlagSet, name string) {
+	b.gap = fs.Float64(name, 0,
+		"core-exact relative accuracy budget, e.g. 0.05: stop component searches within this gap of certainty (0 = exact)")
+}
+
 // Query assembles the dsd.Query from the registered flags' parsed values
 // and normalizes it, so flag mistakes (unknown motif or algorithm,
 // conflicting variant parameters) surface here with the library's
@@ -143,6 +162,12 @@ func (b *Builder) Query() (dsd.Query, error) {
 	}
 	if b.eps != nil {
 		q.Eps = *b.eps
+	}
+	if b.deadline != nil {
+		q.Deadline = *b.deadline
+	}
+	if b.gap != nil {
+		q.Gap = *b.gap
 	}
 	return q.Normalized()
 }

@@ -1,0 +1,223 @@
+// Package resilience implements the fault-handling policies of the
+// serving layer: jittered exponential backoff for retryable remote
+// attempts, and a per-peer circuit breaker (closed → open → half-open)
+// that stops hammering a worker that keeps failing. Both are plain
+// policy objects — no goroutines, no clocks of their own — so callers
+// (the shard coordinator) stay testable with injected time and seeds.
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes retry delays: exponential growth from Base capped at
+// Max, with equal jitter (half the delay is deterministic, half drawn
+// uniformly) so synchronized retry storms decorrelate. A server-suggested
+// delay (Retry-After) acts as a floor — the server knows its own load
+// better than the client's schedule does. Safe for concurrent use; the
+// seed makes a Backoff's jitter sequence reproducible in tests.
+type Backoff struct {
+	// Base is attempt 0's full delay; Max caps the exponential growth.
+	Base time.Duration
+	Max  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff returns a backoff policy with the given base, cap and
+// jitter seed.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns how long to sleep before retry number attempt (0 is the
+// first retry). suggested is the server's Retry-After hint (0 = none);
+// the returned delay is never below it, capped at Max either way.
+func (b *Backoff) Delay(attempt int, suggested time.Duration) time.Duration {
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	// Equal jitter: [d/2, d).
+	half := d / 2
+	b.mu.Lock()
+	d = half + time.Duration(b.rng.Int63n(int64(half)+1))
+	b.mu.Unlock()
+	if suggested > d {
+		d = suggested
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
+// State is a circuit breaker's position.
+type State int32
+
+const (
+	// StateClosed: requests flow; consecutive failures are counted.
+	StateClosed State = iota
+	// StateHalfOpen: the cooldown elapsed and exactly one probe request
+	// is in flight; its outcome closes or re-opens the circuit.
+	StateHalfOpen
+	// StateOpen: requests are denied until the cooldown elapses.
+	StateOpen
+)
+
+// String returns the conventional lowercase state name.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a circuit breaker over one peer. Threshold consecutive
+// failures open it; after Cooldown it admits a single half-open probe
+// whose outcome closes it (success) or re-opens it (failure). The
+// zero-ish constructor defaults are tuned for the shard layer: a worker
+// that failed Threshold component attempts in a row is skipped — its
+// components run on the local fallback — instead of charging every query
+// a connect timeout.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	// OnChange, when non-nil, observes every state transition (called
+	// outside the breaker's lock, in transition order per breaker). The
+	// coordinator points it at the breaker-state gauge.
+	OnChange func(State)
+
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker returns a closed breaker opening after threshold
+// consecutive failures and probing after cooldown. Non-positive
+// arguments select the defaults (5 failures, 5s cooldown).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// WithClock replaces the breaker's clock (tests) and returns it.
+func (b *Breaker) WithClock(now func() time.Time) *Breaker {
+	b.now = now
+	return b
+}
+
+// Allow reports whether a request may proceed, transitioning open →
+// half-open when the cooldown has elapsed. A true return from a
+// half-open breaker claims the single probe slot; the caller must
+// Report the outcome (or ReleaseProbe on a request that never ran) so
+// the slot frees.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	switch b.state {
+	case StateClosed:
+		b.mu.Unlock()
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		b.mu.Unlock()
+		b.changed(StateHalfOpen)
+		return true
+	default: // StateHalfOpen
+		if b.probing {
+			b.mu.Unlock()
+			return false
+		}
+		b.probing = true
+		b.mu.Unlock()
+		return true
+	}
+}
+
+// Report feeds an attempt's outcome back. Success closes the breaker
+// and resets the failure count; failure re-opens a half-open breaker
+// immediately, and opens a closed one at the threshold.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	prev := b.state
+	if ok {
+		b.state = StateClosed
+		b.failures = 0
+		b.probing = false
+	} else {
+		switch b.state {
+		case StateHalfOpen:
+			b.state = StateOpen
+			b.openedAt = b.now()
+			b.probing = false
+		case StateClosed:
+			b.failures++
+			if b.failures >= b.threshold {
+				b.state = StateOpen
+				b.openedAt = b.now()
+			}
+		default: // already open (a straggler from before it opened)
+			b.openedAt = b.now()
+		}
+	}
+	next := b.state
+	b.mu.Unlock()
+	if next != prev {
+		b.changed(next)
+	}
+}
+
+// ReleaseProbe frees a half-open probe slot claimed by Allow when the
+// request was abandoned before producing an outcome.
+func (b *Breaker) ReleaseProbe() {
+	b.mu.Lock()
+	if b.state == StateHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// State returns the breaker's current position (open breakers whose
+// cooldown has elapsed still read open until the next Allow probes).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *Breaker) changed(s State) {
+	if b.OnChange != nil {
+		b.OnChange(s)
+	}
+}

@@ -1,0 +1,225 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 800*time.Millisecond, 1)
+	prevCeil := time.Duration(0)
+	for attempt := 0; attempt < 6; attempt++ {
+		// Ceiling for this attempt: base·2^attempt capped at Max.
+		ceil := 100 * time.Millisecond
+		for i := 0; i < attempt && ceil < 800*time.Millisecond; i++ {
+			ceil *= 2
+		}
+		if ceil > 800*time.Millisecond {
+			ceil = 800 * time.Millisecond
+		}
+		for rep := 0; rep < 50; rep++ {
+			d := b.Delay(attempt, 0)
+			if d < ceil/2 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, ceil/2, ceil)
+			}
+		}
+		if ceil < prevCeil {
+			t.Fatalf("ceiling shrank: %v < %v", ceil, prevCeil)
+		}
+		prevCeil = ceil
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := NewBackoff(50*time.Millisecond, time.Second, 42)
+	b := NewBackoff(50*time.Millisecond, time.Second, 42)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Delay(i%4, 0), b.Delay(i%4, 0); da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBackoffHonorsRetryAfterFloor(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, time.Second, 7)
+	if d := b.Delay(0, 300*time.Millisecond); d < 300*time.Millisecond {
+		t.Fatalf("delay %v below the server-suggested 300ms floor", d)
+	}
+	// The cap still wins over an absurd suggestion.
+	if d := b.Delay(0, time.Hour); d != time.Second {
+		t.Fatalf("delay %v, want the 1s cap", d)
+	}
+}
+
+// fakeClock is a manually-advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []State
+	b := NewBreaker(3, time.Second).WithClock(clk.now)
+	b.OnChange = func(s State) { transitions = append(transitions, s) }
+
+	if b.State() != StateClosed {
+		t.Fatalf("new breaker not closed")
+	}
+	// Two failures: still closed.
+	b.Report(false)
+	b.Report(false)
+	if !b.Allow() || b.State() != StateClosed {
+		t.Fatalf("breaker opened below threshold")
+	}
+	// Third consecutive failure: open, denies immediately.
+	b.Report(false)
+	if b.State() != StateOpen {
+		t.Fatalf("breaker not open after threshold failures")
+	}
+	if b.Allow() {
+		t.Fatalf("open breaker allowed a request inside cooldown")
+	}
+	// Cooldown elapses: exactly one half-open probe.
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatalf("breaker denied the half-open probe after cooldown")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatalf("second request admitted while the probe is in flight")
+	}
+	// Probe fails: back to open, new cooldown.
+	b.Report(false)
+	if b.State() != StateOpen || b.Allow() {
+		t.Fatalf("failed probe did not re-open the breaker")
+	}
+	// Next cooldown, successful probe: closed, admits freely.
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatalf("breaker denied the second probe")
+	}
+	b.Report(true)
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatalf("successful probe did not close the breaker")
+	}
+	// Success resets the consecutive-failure count.
+	b.Report(false)
+	b.Report(false)
+	if b.State() != StateClosed {
+		t.Fatalf("stale failures carried across a success")
+	}
+
+	want := []State{StateOpen, StateHalfOpen, StateOpen, StateHalfOpen, StateClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d: %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerReleaseProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	b := NewBreaker(1, time.Second).WithClock(clk.now)
+	b.Report(false) // open
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatalf("probe denied")
+	}
+	if b.Allow() {
+		t.Fatalf("probe slot double-claimed")
+	}
+	b.ReleaseProbe()
+	if !b.Allow() {
+		t.Fatalf("released probe slot not reclaimable")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	for i := 0; i < 4; i++ {
+		b.Report(false)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("default threshold below 5")
+	}
+	b.Report(false)
+	if b.State() != StateOpen {
+		t.Fatalf("default threshold above 5")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateClosed: "closed", StateHalfOpen: "half-open", StateOpen: "open", State(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestWallDeadlineErrIsClockDriven: once the wall clock passes the
+// deadline, Err() must report DeadlineExceeded immediately — without
+// waiting for the runtime timer to fire (which can lag by scheduler
+// ticks on virtualized hosts).
+func TestWallDeadlineErrIsClockDriven(t *testing.T) {
+	d := time.Now().Add(2 * time.Millisecond)
+	ctx, cancel := WallDeadline(context.Background(), d)
+	defer cancel()
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(d) {
+		t.Fatalf("Deadline() = %v, %v; want %v, true", dl, ok, d)
+	}
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("Err() before deadline = %v, want nil", err)
+	}
+	for time.Now().Before(d) {
+	}
+	// The very first check after expiry must already see the error.
+	if err := ctx.Err(); err != context.DeadlineExceeded {
+		t.Fatalf("Err() after wall deadline = %v, want DeadlineExceeded", err)
+	}
+	// Done() still closes (timer-driven, so give it slack).
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Done() never closed after deadline")
+	}
+}
+
+// TestWallDeadlineCancellationWins: a parent cancellation before the
+// deadline surfaces as Canceled, not as a premature DeadlineExceeded.
+func TestWallDeadlineCancellationWins(t *testing.T) {
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, cancel := WallDeadline(parent, time.Now().Add(time.Hour))
+	defer cancel()
+	pcancel()
+	<-ctx.Done()
+	if err := ctx.Err(); err != context.Canceled {
+		t.Fatalf("Err() after parent cancel = %v, want Canceled", err)
+	}
+}
+
+// TestWallDeadlineParentDeadlineWins: an earlier parent deadline caps
+// the child's, as with context.WithDeadline.
+func TestWallDeadlineParentDeadlineWins(t *testing.T) {
+	early := time.Now().Add(time.Millisecond)
+	parent, pcancel := context.WithDeadline(context.Background(), early)
+	defer pcancel()
+	ctx, cancel := WallDeadline(parent, time.Now().Add(time.Hour))
+	defer cancel()
+	if dl, _ := ctx.Deadline(); !dl.Equal(early) {
+		t.Fatalf("Deadline() = %v, want parent's %v", dl, early)
+	}
+	for time.Now().Before(early) {
+	}
+	if err := ctx.Err(); err != context.DeadlineExceeded {
+		t.Fatalf("Err() past parent deadline = %v, want DeadlineExceeded", err)
+	}
+}

@@ -60,7 +60,14 @@ func (c *Cache) Do(ctx context.Context, key Key, fn func() (*core.Result, error)
 
 	go func() {
 		e.res, e.err = fn()
-		if e.err != nil {
+		// Errors are evicted so transient failures retry — and so are
+		// degraded results: a deadline-bounded answer is what THIS
+		// request's budget could certify, not the key's immutable truth.
+		// Waiters still receive it (a joined caller shares the leader's
+		// budget), but the next arrival recomputes. Degraded queries also
+		// key differently (Query.Key carries the budget), so an exact
+		// entry can never be shadowed by a degraded one.
+		if e.err != nil || (e.res != nil && e.res.Degraded) {
 			c.mu.Lock()
 			delete(c.m, key)
 			c.mu.Unlock()

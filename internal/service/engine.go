@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,13 @@ type Config struct {
 	// Workers bounds how many densest-subgraph computations run at once
 	// (0 = GOMAXPROCS). Queries beyond the bound queue for a slot.
 	Workers int
+	// QueueDepth bounds how many computations may wait for a worker slot
+	// beyond the Workers running (0 = 4×Workers, negative = unbounded).
+	// A computation arriving past the bound is shed immediately with
+	// ErrOverloaded — the HTTP layer answers 503 + Retry-After — instead
+	// of queuing into a timeout. Cache hits and single-flight joins are
+	// never shed; only fresh computations pass through the queue.
+	QueueDepth int
 	// Timeout bounds each computation, end to end, including the wait
 	// for a worker slot (0 = no timeout). A request's own timeout only
 	// bounds how long that caller waits; the shared computation answers
@@ -52,6 +60,19 @@ type Config struct {
 	// ShardTimeout bounds each remote component attempt (0 = the
 	// query's own budget only).
 	ShardTimeout time.Duration
+	// ShardBoundTimeout bounds one best-effort bound rebroadcast to a
+	// shard worker (0 = shard.DefaultBoundTimeout).
+	ShardBoundTimeout time.Duration
+	// ShardHTTPClient carries the coordinator's v3 traffic (nil =
+	// http.DefaultClient) — the seam fault-injection transports plug
+	// into.
+	ShardHTTPClient *http.Client
+	// ComputeHook, when non-nil, runs at the start of every computation,
+	// on the compute goroutine, after the worker slot is acquired. It is
+	// a test and fault-injection seam: a blocking hook holds worker
+	// slots (driving the admission queue), a sleeping hook injects
+	// compute latency. Nil costs nothing.
+	ComputeHook func()
 	// Metrics is the registry the engine's counters, gauges, and latency
 	// histograms land in — the one /metrics serves (nil = a fresh private
 	// registry, so instrumentation is always live).
@@ -80,10 +101,12 @@ type Engine struct {
 	reg           *Registry
 	cache         *Cache
 	sem           chan struct{}
+	admit         chan struct{} // nil = unbounded admission
 	timeout       time.Duration
 	algoWorkers   int
 	algoIterative int
 	coord         *shard.Coordinator
+	computeHook   func()
 
 	metrics   *obs.Registry
 	log       *slog.Logger
@@ -94,8 +117,18 @@ type Engine struct {
 	computes     atomic.Int64
 	hits         atomic.Int64
 	errors       atomic.Int64
+	shed         atomic.Int64
 	shardQueries atomic.Int64
 }
+
+// ErrOverloaded is returned (wrapped) when the admission queue is full:
+// the query was shed without any work. The HTTP layer maps it to
+// 503 + Retry-After; callers should back off and retry.
+var ErrOverloaded = errors.New("service: overloaded, admission queue full")
+
+// DefaultQueueFactor sizes the default admission queue: QueueDepth 0
+// admits up to Workers running + DefaultQueueFactor×Workers waiting.
+const DefaultQueueFactor = 4
 
 // NewEngine builds an engine over reg. Every engine owns a distributed
 // coordinator; it only takes effect once its worker set is non-empty
@@ -121,18 +154,36 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	coord := shard.NewCoordinator(reg, shard.NewSet(cfg.ShardAddrs...), shard.Config{
+		HTTPClient:       cfg.ShardHTTPClient,
 		Hedge:            cfg.ShardHedge,
 		ComponentTimeout: cfg.ShardTimeout,
+		BoundTimeout:     cfg.ShardBoundTimeout,
 		Metrics:          metrics,
 	})
+	var admit chan struct{}
+	if cfg.QueueDepth >= 0 {
+		depth := cfg.QueueDepth
+		if depth == 0 {
+			depth = DefaultQueueFactor * workers
+		}
+		admit = make(chan struct{}, workers+depth)
+	}
+	// Pre-register the resilience counters so /metrics shows them at
+	// zero from boot, not only after the first shed or degraded answer.
+	metrics.Counter("dsd_shed_total",
+		"Queries shed at admission because the queue was full.")
+	metrics.Counter("dsd_degraded_total",
+		"Queries answered degraded (certified bounds, not the exact optimum).")
 	return &Engine{
 		reg:           reg,
 		cache:         NewCache(),
 		sem:           make(chan struct{}, workers),
+		admit:         admit,
 		timeout:       cfg.Timeout,
 		algoWorkers:   algoWorkers,
 		algoIterative: cfg.AlgoIterative,
 		coord:         coord,
+		computeHook:   cfg.ComputeHook,
 		metrics:       metrics,
 		log:           logger,
 		slowQuery:     cfg.SlowQuery,
@@ -248,6 +299,8 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 	defer func() {
 		outcome := "ok"
 		switch {
+		case err != nil && errors.Is(err, ErrOverloaded):
+			outcome = "shed"
 		case err != nil && errors.Is(err, context.DeadlineExceeded):
 			outcome = "timeout"
 		case err != nil:
@@ -291,6 +344,22 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 
 	key := Key{Graph: entry.CacheKey(), Query: nq.Key()}
 	res, cached, err = e.cache.Do(waitCtx, key, func() (*core.Result, error) {
+		// Admission control, before any work or waiting: a computation
+		// arriving past the queue bound is shed immediately — a fast 503
+		// the caller can retry beats a slow timeout that holds its
+		// connection. This runs only on single-flight leaders, so cache
+		// hits and joins of an in-flight computation are never shed.
+		if e.admit != nil {
+			select {
+			case e.admit <- struct{}{}:
+				defer func() { <-e.admit }()
+			default:
+				e.shed.Add(1)
+				e.metrics.Counter("dsd_shed_total",
+					"Queries shed at admission because the queue was full.").Inc()
+				return nil, fmt.Errorf("service: query %v: %w", key, ErrOverloaded)
+			}
+		}
 		// The computation is deliberately detached from the submitting
 		// request's ctx: under single flight it serves every waiter on
 		// the key, so only the engine's own budget may cancel it.
@@ -351,6 +420,9 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 		done := make(chan outcome, 1)
 		go func() {
 			defer func() { <-e.sem }()
+			if e.computeHook != nil {
+				e.computeHook()
+			}
 			var r *core.Result
 			var err error
 			if e.coord.Routable(nq) {
@@ -369,6 +441,10 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 					// The engine's snapshot supersedes the solver's own:
 					// same spans plus the root query span.
 					r.Stats.Trace = tr.Snapshot()
+				}
+				if r.Degraded {
+					e.metrics.Counter("dsd_degraded_total",
+						"Queries answered degraded (certified bounds, not the exact optimum).").Inc()
 				}
 				e.observeComputed(graphName, nq, r)
 			}
@@ -503,7 +579,9 @@ func (e *Engine) Stats() wire.StatsResponse {
 				Remote:        h.Remote,
 				Failures:      h.Failures,
 				Hedges:        h.Hedges,
+				Retries:       h.Retries,
 				LatencyEWMAMs: float64(h.LatencyEWMA) / float64(time.Millisecond),
+				Breaker:       h.Breaker,
 			}
 		}
 	}
@@ -517,6 +595,7 @@ func (e *Engine) Stats() wire.StatsResponse {
 		CacheHits:     e.hits.Load(),
 		Errors:        e.errors.Load(),
 		AwaitOrphans:  dsd.AwaitOrphans(),
+		Shed:          e.shed.Load(),
 		Shards:        e.coord.Set().Len(),
 		ShardQueries:  e.shardQueries.Load(),
 		ShardWorkers:  shardWorkers,

@@ -108,7 +108,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	res, cached, err := s.engine.Solve(r.Context(), req.Graph, nq,
 		time.Duration(req.TimeoutMs)*time.Millisecond)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeQueryError(w, err)
 		return
 	}
 	resp := wire.QueryV2Response{
@@ -140,7 +140,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, cached, err := s.engine.Query(r.Context(), req.Graph, req.Pattern, algo,
 		time.Duration(req.TimeoutMs)*time.Millisecond)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.QueryResponse{
@@ -334,9 +334,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// ShedRetryAfter is the Retry-After suggestion on shed (503) query
+// responses: long enough for queued computations to drain a slot, short
+// enough that a backed-off client re-offers promptly.
+const ShedRetryAfter = 1 * time.Second
+
+// writeQueryError answers a failed query, mapping the error to a status
+// and decorating shed responses with the Retry-After header the
+// coordinator's (and any well-behaved client's) backoff honors.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(ShedRetryAfter.Seconds())))
+	}
+	writeError(w, status, err)
+}
+
 // statusFor maps engine errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case strings.Contains(err.Error(), "unknown graph"):

@@ -38,6 +38,15 @@ type Result struct {
 	PreSolveIters int     `json:"pre_solve_iters,omitempty"`
 	PreSolveSkips int     `json:"pre_solve_skips,omitempty"`
 	TotalMs       float64 `json:"total_ms"`
+	// Degraded marks a best-effort answer returned under a deadline or
+	// accuracy budget: Vertices/Density describe the best certified
+	// subgraph found, and BoundLowerNum/Den (its exact density) together
+	// with BoundUpper bracket the true optimum. All four are absent on
+	// exact answers.
+	Degraded      bool    `json:"degraded,omitempty"`
+	BoundLowerNum int64   `json:"bound_lower_num,omitempty"`
+	BoundLowerDen int64   `json:"bound_lower_den,omitempty"`
+	BoundUpper    float64 `json:"bound_upper,omitempty"`
 }
 
 // FromResult converts a core result into its wire form.
@@ -45,7 +54,7 @@ func FromResult(res *core.Result) *Result {
 	if res == nil {
 		return nil
 	}
-	return &Result{
+	w := &Result{
 		Vertices:      res.Vertices,
 		Size:          len(res.Vertices),
 		Mu:            res.Mu,
@@ -57,6 +66,13 @@ func FromResult(res *core.Result) *Result {
 		PreSolveSkips: res.Stats.PreSolveSkips,
 		TotalMs:       float64(res.Stats.Total) / float64(time.Millisecond),
 	}
+	if res.Degraded {
+		w.Degraded = true
+		w.BoundLowerNum = res.Bound.Lower.Num
+		w.BoundLowerDen = res.Bound.Lower.Den
+		w.BoundUpper = res.Bound.Upper
+	}
+	return w
 }
 
 // Query is the wire form of dsd.Query, serialized verbatim: the motif
@@ -80,6 +96,12 @@ type Query struct {
 	// the head version at admission, so the echoed canonical query always
 	// carries the concrete version it answered on.
 	Version int64 `json:"version,omitempty"`
+	// DeadlineMs / Gap are the core-exact degradation budgets (see
+	// dsd.Query.Deadline and Query.Gap): a wall-clock budget after which
+	// the best certified answer is returned with Degraded bounds, and a
+	// relative accuracy at which component searches may stop early.
+	DeadlineMs int64   `json:"deadline_ms,omitempty"`
+	Gap        float64 `json:"gap,omitempty"`
 }
 
 // Pruning is the wire form of the CoreExact pruning ablations. Every
@@ -107,6 +129,8 @@ func (w Query) ToQuery() (dsd.Query, error) {
 		AtLeast:    w.AtLeast,
 		Eps:        w.Eps,
 		Version:    dsd.Version(w.Version),
+		Deadline:   time.Duration(w.DeadlineMs) * time.Millisecond,
+		Gap:        w.Gap,
 	}
 	if w.Algo != "" {
 		a, err := dsd.ParseAlgo(w.Algo)
@@ -150,6 +174,8 @@ func FromQuery(q dsd.Query) Query {
 		AtLeast:    q.AtLeast,
 		Eps:        q.Eps,
 		Version:    int64(q.Version),
+		DeadlineMs: int64(q.Deadline / time.Millisecond),
+		Gap:        q.Gap,
 	}
 	if q.Pattern != nil {
 		w.Pattern = q.Psi()
@@ -356,6 +382,9 @@ type StatsResponse struct {
 	// non-preemptible algorithm and the engine finished (and dropped) the
 	// answer anyway; see dsd.AwaitOrphans.
 	AwaitOrphans int64 `json:"await_orphans"`
+	// Shed counts queries rejected at admission (503 + Retry-After)
+	// because the engine's admission queue was full.
+	Shed int64 `json:"shed,omitempty"`
 	// Shards is the number of registered shard workers; ShardQueries
 	// counts computations routed through the distributed coordinator.
 	Shards       int   `json:"shards,omitempty"`
@@ -377,7 +406,11 @@ type ShardWorkerStats struct {
 	Remote        int64   `json:"remote"`
 	Failures      int64   `json:"failures"`
 	Hedges        int64   `json:"hedges"`
+	Retries       int64   `json:"retries,omitempty"`
 	LatencyEWMAMs float64 `json:"latency_ewma_ms"`
+	// Breaker is the worker's circuit-breaker state: "closed",
+	// "half-open" or "open".
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // ComponentRequest is the wire v3 shard-execution message
@@ -422,7 +455,12 @@ type ComponentResponse struct {
 	FlowSolves      int     `json:"flow_solves"`
 	PreSolveIters   int     `json:"pre_solve_iters"`
 	PreSolveSkipped bool    `json:"pre_solve_skipped,omitempty"`
-	TotalMs         float64 `json:"total_ms"`
+	// Upper is the search's certified upper bound on the component's
+	// optimum density — the coordinator's degraded-answer substrate
+	// (0 from workers predating it; the coordinator then keeps its own
+	// planning bound).
+	Upper   float64 `json:"upper,omitempty"`
+	TotalMs float64 `json:"total_ms"`
 	// FlowMs / PreSolveMs split TotalMs into its flow-solve and Greed++
 	// pre-solve shares.
 	FlowMs     float64 `json:"flow_ms,omitempty"`

@@ -7,9 +7,48 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/service/wire"
 )
+
+// StatusError is a non-2xx response from a shard worker, carrying the
+// HTTP status and the worker's Retry-After suggestion so the
+// coordinator's retry policy can tell retryable overload (503) from
+// permanent errors — and honor the server's own idea of when to come
+// back.
+type StatusError struct {
+	Addr    string
+	Path    string
+	Status  int
+	Message string
+	// RetryAfter is the parsed Retry-After header (0 = none sent).
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("shard: %s%s: status %d: %s", e.Addr, e.Path, e.Status, e.Message)
+	}
+	return fmt.Sprintf("shard: %s%s: status %d", e.Addr, e.Path, e.Status)
+}
+
+// Retryable reports whether the error is transient by the worker's own
+// account: 503 means overloaded or mid-shutdown, try again shortly.
+func (e *StatusError) Retryable() bool { return e.Status == http.StatusServiceUnavailable }
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form (the
+// form the worker emits); the HTTP-date form and garbage read as 0.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
 
 // Client speaks the wire v3 shard protocol to any number of workers —
 // unlike the v1/v2 client it is not bound to one base URL, because the
@@ -87,11 +126,17 @@ func (c *Client) post(ctx context.Context, addr, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
+		se := &StatusError{
+			Addr:       addr,
+			Path:       path,
+			Status:     resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var apiErr wire.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("shard: %s%s: status %d: %s", addr, path, resp.StatusCode, apiErr.Error)
+			se.Message = apiErr.Error
 		}
-		return fmt.Errorf("shard: %s%s: status %d", addr, path, resp.StatusCode)
+		return se
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	dsd "repro"
 	"repro/internal/obs"
 	"repro/internal/rational"
+	"repro/internal/resilience"
 	"repro/internal/service/wire"
 )
 
@@ -34,6 +36,25 @@ type Config struct {
 	// one query before the coordinator stops offering it components and
 	// runs the rest of that lane locally (0 = DefaultFailureLimit).
 	FailureLimit int
+	// Retries is how many times a retryable (503 + Retry-After) remote
+	// component attempt is retried with jittered exponential backoff
+	// before falling back to local execution (0 = DefaultRetries;
+	// negative disables retries).
+	Retries int
+	// RetryBackoff overrides the retry delay policy (nil = a default
+	// resilience.NewBackoff(DefaultRetryBase, DefaultRetryMax, seed 1) —
+	// deterministic, so fault-injection runs reproduce).
+	RetryBackoff *resilience.Backoff
+	// BreakerThreshold consecutive remote failures open a worker's
+	// circuit breaker; while open, its components run locally without
+	// paying a connect timeout. BreakerCooldown later a single probe
+	// decides between closing and re-opening. Zero values pick the
+	// resilience package defaults (5 failures, 5s cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// BoundTimeout bounds one best-effort bound rebroadcast to a worker
+	// (0 = DefaultBoundTimeout).
+	BoundTimeout time.Duration
 	// Metrics receives the coordinator's per-worker gauges and counters
 	// (in-flight components, latency EWMA, remote/fallback/hedge totals);
 	// nil uses a private registry, keeping every update path live.
@@ -50,8 +71,19 @@ const DefaultHedge = 3 * time.Second
 // per shard before writing the shard off for the rest of that query.
 const DefaultFailureLimit = 2
 
-// boundTimeout bounds one best-effort bound rebroadcast.
-const boundTimeout = 2 * time.Second
+// DefaultBoundTimeout bounds one best-effort bound rebroadcast.
+const DefaultBoundTimeout = 2 * time.Second
+
+// DefaultRetries is how many backoff retries a retryable remote failure
+// gets before the component falls back to local execution.
+const DefaultRetries = 2
+
+// Default backoff window for component retries: base doubles per
+// attempt with equal jitter, capped at the max.
+const (
+	DefaultRetryBase = 50 * time.Millisecond
+	DefaultRetryMax  = 2 * time.Second
+)
 
 // Coordinator executes CoreExact/CorePExact queries by planning locally
 // and fanning the located core's components out to shard workers. One
@@ -63,16 +95,21 @@ const boundTimeout = 2 * time.Second
 // (fallback/hedge), so losing workers degrades throughput, never
 // answers.
 type Coordinator struct {
-	src         SolverSource
-	set         *Set
-	client      *Client
-	hedge       time.Duration
-	compTimeout time.Duration
-	failLimit   int
-	token       string
-	seq         atomic.Int64
-	solves      atomic.Int64
-	metrics     *obs.Registry
+	src          SolverSource
+	set          *Set
+	client       *Client
+	hedge        time.Duration
+	compTimeout  time.Duration
+	failLimit    int
+	retries      int
+	backoff      *resilience.Backoff
+	brkThreshold int
+	brkCooldown  time.Duration
+	boundTimeout time.Duration
+	token        string
+	seq          atomic.Int64
+	solves       atomic.Int64
+	metrics      *obs.Registry
 
 	healthMu sync.Mutex
 	health   map[string]*workerHealth
@@ -92,6 +129,24 @@ func NewCoordinator(src SolverSource, set *Set, cfg Config) *Coordinator {
 	if failLimit <= 0 {
 		failLimit = DefaultFailureLimit
 	}
+	retries := cfg.Retries
+	switch {
+	case retries == 0:
+		retries = DefaultRetries
+	case retries < 0:
+		retries = 0 // disabled
+	}
+	backoff := cfg.RetryBackoff
+	if backoff == nil {
+		// A fixed seed keeps chaos runs reproducible; the jitter still
+		// decorrelates retries within a run (the sequence advances per
+		// draw).
+		backoff = resilience.NewBackoff(DefaultRetryBase, DefaultRetryMax, 1)
+	}
+	boundTO := cfg.BoundTimeout
+	if boundTO <= 0 {
+		boundTO = DefaultBoundTimeout
+	}
 	tok := make([]byte, 4)
 	rand.Read(tok)
 	metrics := cfg.Metrics
@@ -99,15 +154,20 @@ func NewCoordinator(src SolverSource, set *Set, cfg Config) *Coordinator {
 		metrics = obs.NewRegistry()
 	}
 	return &Coordinator{
-		src:         src,
-		set:         set,
-		client:      NewClient(cfg.HTTPClient),
-		hedge:       hedge,
-		compTimeout: cfg.ComponentTimeout,
-		failLimit:   failLimit,
-		token:       hex.EncodeToString(tok),
-		metrics:     metrics,
-		health:      make(map[string]*workerHealth),
+		src:          src,
+		set:          set,
+		client:       NewClient(cfg.HTTPClient),
+		hedge:        hedge,
+		compTimeout:  cfg.ComponentTimeout,
+		failLimit:    failLimit,
+		retries:      retries,
+		backoff:      backoff,
+		brkThreshold: cfg.BreakerThreshold,
+		brkCooldown:  cfg.BreakerCooldown,
+		boundTimeout: boundTO,
+		token:        hex.EncodeToString(tok),
+		metrics:      metrics,
+		health:       make(map[string]*workerHealth),
 	}
 }
 
@@ -118,7 +178,18 @@ func (c *Coordinator) healthFor(addr string) *workerHealth {
 	defer c.healthMu.Unlock()
 	h, ok := c.health[addr]
 	if !ok {
-		h = &workerHealth{}
+		b := resilience.NewBreaker(c.brkThreshold, c.brkCooldown)
+		b.OnChange = func(s resilience.State) {
+			c.metrics.Gauge("dsd_shard_breaker_state",
+				"Worker circuit-breaker state (0 closed, 1 half-open, 2 open).",
+				"worker", addr).Set(float64(s))
+		}
+		// Pre-register the gauge at closed so /metrics shows every worker
+		// from first dispatch, not only after a transition.
+		c.metrics.Gauge("dsd_shard_breaker_state",
+			"Worker circuit-breaker state (0 closed, 1 half-open, 2 open).",
+			"worker", addr).Set(float64(resilience.StateClosed))
+		h = &workerHealth{breaker: b}
 		c.health[addr] = h
 	}
 	return h
@@ -138,7 +209,9 @@ func (c *Coordinator) Health() []WorkerHealth {
 			Remote:      h.remote.Load(),
 			Failures:    h.failures.Load(),
 			Hedges:      h.hedges.Load(),
+			Retries:     h.retries.Load(),
 			LatencyEWMA: time.Duration(h.ewmaNs.Load()),
+			Breaker:     h.breaker.State().String(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
@@ -166,6 +239,13 @@ func (c *Coordinator) Solves() int64 { return c.solves.Load() }
 func (c *Coordinator) Routable(q dsd.Query) bool {
 	nq, err := q.Normalized()
 	if err != nil || nq.Algo != dsd.AlgoCoreExact || nq.Shards < 0 {
+		return false
+	}
+	// Gap-budgeted queries stay on the in-process engine: the early-stop
+	// decision reads the shared floor mid-search, and rebroadcast lag
+	// would make the certificate depend on network timing. Deadlines are
+	// fine — the coordinator owns the clock and workers never see it.
+	if nq.Gap > 0 {
 		return false
 	}
 	return c.set.Len() > 0
@@ -257,7 +337,20 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 		return res, err
 	}
 
-	plan, err := solver.PlanComponents(ctx, nq)
+	// The degradation budget is coordinator-owned: component searches run
+	// under dctx, and when it expires the partially-merged cell plus the
+	// per-component upper slots assemble a certified interval instead of
+	// an error. Planning runs under dctx too — but a deadline that fires
+	// before any component finishes certifies nothing, and surfaces as
+	// the plain ctx error it is.
+	dctx := ctx
+	if nq.Deadline > 0 {
+		var dcancel context.CancelFunc
+		dctx, dcancel = resilience.WallDeadline(ctx, start.Add(nq.Deadline))
+		defer dcancel()
+	}
+
+	plan, err := solver.PlanComponents(dctx, nq)
 	if err != nil {
 		return nil, err
 	}
@@ -268,13 +361,16 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 
 	addrs := c.shardsFor(nq)
 	cell := newMergeCell(ratio(plan.LowerNum, plan.LowerDen), plan.Witness)
-	// Workers answer one component at a time; the shard knobs and the
-	// in-process Workers pool are the coordinator's concern, so the
-	// shipped query carries neither.
+	// Workers answer one component at a time; the shard knobs, the
+	// in-process Workers pool and the degradation budget are the
+	// coordinator's concern, so the shipped query carries none of them —
+	// a worker must never degrade independently.
 	wq := nq
 	wq.Shards = 0
 	wq.ShardAddrs = nil
 	wq.Workers = 0
+	wq.Deadline = 0
+	wq.Gap = 0
 	wireQ := wire.FromQuery(wq)
 	runID := fmt.Sprintf("%s-%d", c.token, c.seq.Add(1))
 
@@ -286,6 +382,11 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 	if lanes > n {
 		lanes = n
 	}
+	// uppers[i] starts at the plan's core-number bound for component i —
+	// sound before any work happens — and is lowered to the search's own
+	// certificate when the component finishes. Each index is written by
+	// exactly one lane and read only after wg.Wait.
+	uppers := append([]float64(nil), plan.Uppers...)
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup
@@ -302,7 +403,7 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 			remoteFails := 0
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || ctx.Err() != nil {
+				if i >= n || dctx.Err() != nil {
 					return
 				}
 				useAddr := addr
@@ -311,7 +412,7 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 					// its lane keeps draining components locally.
 					useAddr = ""
 				}
-				failed, err := c.runComponent(ctx, solver, graphName, wireQ, nq, plan, i, runID, useAddr, cell, st)
+				failed, err := c.runComponent(dctx, solver, graphName, wireQ, nq, plan, i, runID, useAddr, cell, st, uppers)
 				errs[i] = err
 				if failed {
 					remoteFails++
@@ -325,13 +426,37 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	deadlined := nq.Deadline > 0 && dctx.Err() != nil
+	if !deadlined {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	_, witness := cell.snapshot()
-	return attachTrace(c.finish(solver, nq, witness, plan, st, start))
+	res, err := c.finish(solver, nq, witness, plan, st, start)
+	if err != nil {
+		return nil, err
+	}
+	if deadlined {
+		// The deadline fired: the merged witness is still an exact density
+		// of a real subgraph (the lower bound), and every unfinished
+		// component's slot still holds a sound upper bound. If no slot
+		// exceeds the achieved density, the run proved optimality anyway
+		// and the result stays exact.
+		upper := res.Density.Float()
+		for _, u := range uppers {
+			if u > upper {
+				upper = u
+			}
+		}
+		if res.Density.CmpFloat(upper) < 0 {
+			res.Degraded = true
+			res.Bound = dsd.Bound{Lower: res.Density, Upper: upper}
+		}
+	}
+	return attachTrace(res, nil)
 }
 
 // finish re-certifies the winning witness against the local graph and
@@ -360,13 +485,15 @@ func (c *Coordinator) finish(solver *dsd.Solver, nq dsd.Query, witness []int32, 
 
 // answer is one component attempt's outcome (remote or local).
 type answer struct {
-	d      rational.R
-	w      []int32
-	flow   int
-	pre    int
-	skip   bool
-	flowT  time.Duration
-	preT   time.Duration
+	d     rational.R
+	w     []int32
+	upper float64
+	flow  int
+	pre   int
+	skip  bool
+	flowT time.Duration
+	preT  time.Duration
+
 	remote bool
 	err    error
 }
@@ -379,8 +506,19 @@ type answer struct {
 // succeeded.
 func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, graphName string,
 	wireQ wire.Query, nq dsd.Query, plan *dsd.ComponentPlan, i int, runID, addr string,
-	cell *mergeCell, st *shardStats) (bool, error) {
+	cell *mergeCell, st *shardStats, uppers []float64) (bool, error) {
 	comp := plan.Components[i]
+	// Breaker gate before anything is spent on the worker: an open
+	// breaker means its recent failures already burned real time, so the
+	// component runs locally without paying another connect timeout. Not
+	// counted as a lane failure — the breaker's cooldown, not the lane's
+	// failure budget, decides when the worker is probed again.
+	if addr != "" && !c.healthFor(addr).breaker.Allow() {
+		c.metrics.Counter("dsd_shard_breaker_open_total",
+			"Components routed to local execution because the worker's breaker was open.",
+			"worker", addr).Inc()
+		addr = ""
+	}
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	// One dispatch span per component: the coordinator's side of the
@@ -413,12 +551,22 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 				return
 			}
 			ch <- answer{
-				d:    ratio(res.DensityNum, res.DensityDen),
-				w:    res.Witness,
-				flow: res.FlowSolves, pre: res.PreSolveIters, skip: res.PreSolveSkipped,
+				d:     ratio(res.DensityNum, res.DensityDen),
+				w:     res.Witness,
+				upper: res.Upper,
+				flow:  res.FlowSolves, pre: res.PreSolveIters, skip: res.PreSolveSkipped,
 				flowT: res.FlowTime, preT: res.PreSolveTime,
 			}
 		}()
+	}
+	// settle lowers the component's upper slot to the finished search's
+	// own certificate. Guarded against zero: an answer that carries no
+	// certificate (an older worker) must not erase the plan's bound —
+	// a 0 upper would unsoundly prove the whole query exact.
+	settle := func(a answer) {
+		if a.upper > 0 {
+			uppers[i] = a.upper
+		}
 	}
 
 	if addr == "" {
@@ -428,6 +576,7 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 			if a.err != nil {
 				return false, a.err
 			}
+			settle(a)
 			c.merge(solver, nq, a, -1, cell, st)
 			return false, nil
 		case <-ctx.Done():
@@ -440,7 +589,7 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 	// improvement can slip between the two: a duplicate rebroadcast is
 	// harmless (Raise is monotone), a missed one costs pruning.
 	sub := cell.subscribe(func(d rational.R) {
-		bctx, bcancel := context.WithTimeout(context.Background(), boundTimeout)
+		bctx, bcancel := context.WithTimeout(context.Background(), c.boundTimeout)
 		defer bcancel()
 		c.client.Bound(bctx, addr, wire.BoundRequest{SearchID: searchID, FloorNum: d.Num, FloorDen: d.Den})
 	})
@@ -458,33 +607,71 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 				"Components currently in flight on the shard worker.",
 				"worker", addr).Set(float64(health.inflight.Load()))
 		}()
-		b := cell.bound()
-		cctx := rctx
-		if c.compTimeout > 0 {
-			var ccancel context.CancelFunc
-			cctx, ccancel = context.WithTimeout(rctx, c.compTimeout)
-			defer ccancel()
-		}
 		rstart := time.Now()
-		resp, err := c.client.Component(cctx, addr, wire.ComponentRequest{
-			Graph:      graphName,
-			SearchID:   searchID,
-			Query:      wireQ,
-			Component:  comp,
-			KLocate:    plan.KLocate,
-			FloorNum:   b.Num,
-			FloorDen:   b.Den,
-			TraceID:    tr.ID(),
-			ParentSpan: dsp.ID(),
-		})
+		// Retryable (503) attempts are retried with jittered exponential
+		// backoff — honoring the worker's own Retry-After as a floor —
+		// before the component falls back to local execution. Each attempt
+		// re-reads the shared floor, so a retry benefits from every bound
+		// a sibling proved during the wait.
+		var (
+			resp *wire.ComponentResponse
+			err  error
+		)
+		for attempt := 0; ; attempt++ {
+			b := cell.bound()
+			cctx := rctx
+			var ccancel context.CancelFunc
+			if c.compTimeout > 0 {
+				cctx, ccancel = context.WithTimeout(rctx, c.compTimeout)
+			}
+			resp, err = c.client.Component(cctx, addr, wire.ComponentRequest{
+				Graph:      graphName,
+				SearchID:   searchID,
+				Query:      wireQ,
+				Component:  comp,
+				KLocate:    plan.KLocate,
+				FloorNum:   b.Num,
+				FloorDen:   b.Den,
+				TraceID:    tr.ID(),
+				ParentSpan: dsp.ID(),
+			})
+			if ccancel != nil {
+				ccancel()
+			}
+			if err == nil {
+				break
+			}
+			var se *StatusError
+			if attempt >= c.retries || rctx.Err() != nil ||
+				!errors.As(err, &se) || !se.Retryable() {
+				break
+			}
+			health.retries.Add(1)
+			c.metrics.Counter("dsd_retries_total",
+				"Retryable remote component attempts retried with backoff.",
+				"worker", addr).Inc()
+			select {
+			case <-time.After(c.backoff.Delay(attempt, se.RetryAfter)):
+			case <-rctx.Done():
+			}
+		}
 		if err != nil {
 			health.failures.Add(1)
 			c.metrics.Counter("dsd_shard_failures_total",
 				"Remote component attempts that failed (fell back to local execution).",
 				"worker", addr).Inc()
+			// A failure caused by our own cancellation (query done, hedge
+			// won) says nothing about the worker — release any half-open
+			// probe without penalty. A real failure feeds the breaker.
+			if rctx.Err() != nil {
+				health.breaker.ReleaseProbe()
+			} else {
+				health.breaker.Report(false)
+			}
 			ch <- answer{remote: true, err: err}
 			return
 		}
+		health.breaker.Report(true)
 		health.remote.Add(1)
 		health.observe(time.Since(rstart))
 		c.metrics.Counter("dsd_shard_remote_total",
@@ -499,6 +686,7 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 			remote: true,
 			d:      ratio(resp.DensityNum, resp.DensityDen),
 			w:      resp.Witness,
+			upper:  resp.Upper,
 			flow:   resp.FlowSolves, pre: resp.PreSolveIters, skip: resp.PreSolveSkipped,
 			flowT: time.Duration(resp.FlowMs * float64(time.Millisecond)),
 			preT:  time.Duration(resp.PreSolveMs * float64(time.Millisecond)),
@@ -519,6 +707,7 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 		case a := <-ch:
 			pending--
 			if a.err == nil {
+				settle(a)
 				c.merge(solver, nq, a, sub, cell, st)
 				if a.remote {
 					st.remote.Add(1)

@@ -3,6 +3,8 @@ package shard
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // ewmaWeight is the denominator of the latency EWMA's update step:
@@ -22,7 +24,11 @@ type workerHealth struct {
 	remote   atomic.Int64
 	failures atomic.Int64
 	hedges   atomic.Int64
+	retries  atomic.Int64
 	ewmaNs   atomic.Int64 // 0 = no sample yet
+	// breaker gates dispatch to this worker: threshold consecutive
+	// failures open it, a cooldown later one half-open probe decides.
+	breaker *resilience.Breaker
 }
 
 // observe folds one successful component round-trip into the EWMA.
@@ -58,5 +64,9 @@ type WorkerHealth struct {
 	Remote      int64
 	Failures    int64
 	Hedges      int64
+	Retries     int64
 	LatencyEWMA time.Duration // 0 = no completed round-trip yet
+	// Breaker is the worker's circuit-breaker state: "closed",
+	// "half-open" or "open".
+	Breaker string
 }

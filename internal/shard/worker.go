@@ -140,7 +140,7 @@ func (w *Worker) HandleComponent(rw http.ResponseWriter, r *http.Request) {
 	case w.sem <- struct{}{}:
 		defer func() { <-w.sem }()
 	case <-ctx.Done():
-		wire.WriteError(rw, http.StatusServiceUnavailable, ctx.Err())
+		writeRetryable(rw, ctx.Err())
 		return
 	}
 	w.searches.Add(1)
@@ -154,7 +154,11 @@ func (w *Worker) HandleComponent(rw http.ResponseWriter, r *http.Request) {
 	}
 	res, err := solver.SolveComponent(ctx, q, req.Component, req.KLocate, floor)
 	if err != nil {
-		wire.WriteError(rw, statusForShard(err), err)
+		if status := statusForShard(err); status == http.StatusServiceUnavailable {
+			writeRetryable(rw, err)
+		} else {
+			wire.WriteError(rw, status, err)
+		}
 		return
 	}
 	resp := wire.ComponentResponse{
@@ -170,6 +174,7 @@ func (w *Worker) HandleComponent(rw http.ResponseWriter, r *http.Request) {
 		TotalMs:         float64(res.Elapsed) / float64(time.Millisecond),
 		FlowMs:          float64(res.FlowTime) / float64(time.Millisecond),
 		PreSolveMs:      float64(res.PreSolveTime) / float64(time.Millisecond),
+		Upper:           res.Upper,
 	}
 	if snap := wtr.Snapshot(); snap != nil {
 		resp.TraceID = snap.TraceID
@@ -221,4 +226,16 @@ func statusForShard(err error) int {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
+}
+
+// workerRetryAfter is the delay this worker suggests on retryable (503)
+// errors: long enough to drain a saturated search semaphore, short
+// enough that a coordinator's retry budget survives it.
+const workerRetryAfter = 1 * time.Second
+
+// writeRetryable answers a retryable failure: 503 plus a Retry-After
+// header the coordinator's backoff policy honors as a floor.
+func writeRetryable(rw http.ResponseWriter, err error) {
+	rw.Header().Set("Retry-After", fmt.Sprintf("%d", int(workerRetryAfter.Seconds())))
+	wire.WriteError(rw, http.StatusServiceUnavailable, err)
 }

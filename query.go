@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/motif"
@@ -106,6 +107,18 @@ type Query struct {
 	// service's configured/registered workers. Only meaningful for
 	// core-exact. The returned density is identical for every set.
 	ShardAddrs []string
+	// Deadline is the graceful-degradation time budget for core-exact
+	// queries (0 disables it). When the exact search cannot finish within
+	// Deadline, Solve returns the best certified approximation held at
+	// that moment — Result.Degraded is set and Result.Bound brackets the
+	// optimum — instead of an error. Unlike a context deadline, which
+	// aborts with ctx.Err(), this budget trades accuracy for latency.
+	Deadline time.Duration
+	// Gap is the graceful-degradation accuracy budget for core-exact
+	// queries (0 demands exactness): the search may stop once the
+	// certified interval is within a relative (1+Gap), returning a
+	// possibly-Degraded Result whose density d satisfies ρopt ≤ d·(1+Gap).
+	Gap float64
 	// Anchors are the query vertices of AlgoAnchored (Ψ must be edge).
 	Anchors []int32
 	// AtLeast is AlgoAtLeast's minimum answer size (≥ 1).
@@ -209,6 +222,15 @@ func (q Query) normalize() (Query, motif.Oracle, error) {
 	if (q.Shards != 0 || len(q.ShardAddrs) > 0) && q.Algo != AlgoCoreExact {
 		return q, nil, fmt.Errorf("dsd: Shards/ShardAddrs are only meaningful with Algo=%s (got %q)", AlgoCoreExact, q.Algo)
 	}
+	if (q.Deadline != 0 || q.Gap != 0) && q.Algo != AlgoCoreExact {
+		return q, nil, fmt.Errorf("dsd: Deadline/Gap are only meaningful with Algo=%s (got %q)", AlgoCoreExact, q.Algo)
+	}
+	if q.Deadline < 0 {
+		return q, nil, fmt.Errorf("dsd: Deadline must be ≥ 0, got %v", q.Deadline)
+	}
+	if q.Gap < 0 {
+		return q, nil, fmt.Errorf("dsd: Gap must be ≥ 0, got %v", q.Gap)
+	}
 	if q.Shards < 0 {
 		// Every negative value means the same thing — force local — so
 		// canonicalize to one spelling.
@@ -240,6 +262,8 @@ func (q Query) coreOptions() core.Options {
 	case q.Iterative > 0:
 		opts.Iterative = q.Iterative
 	}
+	opts.Deadline = q.Deadline
+	opts.Gap = q.Gap
 	return opts
 }
 
@@ -284,6 +308,16 @@ func (q Query) Key() string {
 		}
 		if len(nq.ShardAddrs) > 0 {
 			fmt.Fprintf(&b, "|shardaddrs=%s", strings.Join(nq.ShardAddrs, ","))
+		}
+		// Degradation budgets change what the computation may return (a
+		// certified approximation), so budgeted queries can never share a
+		// single-flight entry with exact ones. Omitted when zero to keep
+		// pre-degradation keys stable.
+		if nq.Deadline != 0 {
+			fmt.Fprintf(&b, "|deadline=%s", nq.Deadline)
+		}
+		if nq.Gap != 0 {
+			fmt.Fprintf(&b, "|gap=%g", nq.Gap)
 		}
 	case AlgoAnchored:
 		anchors := append([]int32(nil), nq.Anchors...)

@@ -315,6 +315,14 @@ func (vs *verState) kcoreDec() (*kcore.Decomposition, bool) {
 // before being dropped. Such an orphan still populates the Solver's
 // memo, so on a live Solver the work is recovered by the next same-Ψ
 // query rather than wasted.
+//
+// Graceful degradation: a core-exact Query carrying a Deadline or Gap
+// budget may return a Result with Degraded set — the best certified
+// approximation the engine held when the budget ran out, with Bound
+// bracketing the true optimum — instead of an error. Degraded results
+// still seed the witness memo (seeds are always re-evaluated), but they
+// are approximations: callers caching answers must key them apart from
+// exact ones (Query.Key already does).
 func (s *Solver) Solve(ctx context.Context, q Query) (*Result, error) {
 	nq, o, err := q.normalize()
 	if err != nil {
