@@ -7,6 +7,7 @@
 //
 //	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-workers 4]
 //	    [-iterative 16] [-anchors 1,2] [-at-least 5] [-eps 0.25]
+//	    [-deadline 500ms] [-gap 0.05] [-stream]
 //	    [-mutate batch.txt] [-print] [-json] [-log-level info]
 //	    [-log-format text]
 //
@@ -25,6 +26,12 @@
 // second run skips the Ψ-instance enumeration. Incompatible with
 // -shard-addrs.
 //
+// With -stream every certified refinement answer is printed as it is
+// found — a monotone sequence of [lower, upper] intervals ending in the
+// final answer (one JSON line per event with -json, the wire.StreamEvent
+// encoding). -stream, -deadline, and -gap run on the core-exact engine;
+// a conflicting -algo is overridden with a warning rather than rejected.
+//
 // With -shard-addrs the CLI becomes a one-shot sharding coordinator: the
 // graph is registered on each listed dsdd worker under a content-derived
 // name, the core is located locally, and the component searches fan
@@ -39,8 +46,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	dsd "repro"
 	"repro/internal/obs"
@@ -64,6 +74,7 @@ func run(args []string, out io.Writer) error {
 		mutatePath = fs.String("mutate", "", "edge-mutation file ('+ u v' inserts, '- u v' deletes); apply after the first solve and solve again on the new version")
 		printVerts = fs.Bool("print", false, "print the vertex set of the answer")
 		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd v2 API encoding")
+		stream     = fs.Bool("stream", false, "print every certified refinement answer while solving (implies -algo core-exact)")
 		logLevel   = fs.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logFormat  = fs.String("log-format", "text", "log encoding (text|json)")
 	)
@@ -94,9 +105,21 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing -graph")
 	}
+	// The anytime flags only exist on the core-exact engine; when one is
+	// set, the budget wins over a conflicting -algo (with a warning)
+	// instead of erroring in normalization.
+	if *stream || b.BudgetSet() {
+		if old := b.InferCoreExact(); old != "" {
+			logger.Warn("anytime flags (-stream/-deadline/-gap) require core-exact; overriding -algo",
+				"from", old, "to", string(dsd.AlgoCoreExact))
+		}
+	}
 	q, err := b.Query()
 	if err != nil {
 		return err
+	}
+	if *stream && *mutatePath != "" {
+		return fmt.Errorf("-stream is incompatible with -mutate: stream one query at a time")
 	}
 	g, err := dsd.LoadEdgeList(*graphPath)
 	if err != nil {
@@ -107,15 +130,23 @@ func run(args []string, out io.Writer) error {
 	if *mutatePath != "" && sharded {
 		return fmt.Errorf("-mutate is incompatible with -shard-addrs: mutations apply to the local solver")
 	}
+	var sink func(dsd.Answer)
+	if *stream {
+		sink = func(a dsd.Answer) { printEvent(out, a, *asJSON) }
+	}
 	var res *dsd.Result
 	var solver *dsd.Solver
 	if sharded {
 		// Shards < 0 is the documented force-local opt-out; it wins even
 		// when worker addresses are listed.
-		res, err = solveSharded(context.Background(), *graphPath, g, q)
+		res, err = solveSharded(context.Background(), *graphPath, g, q, sink)
 	} else {
 		solver = dsd.NewSolver(g)
-		res, err = solver.Solve(context.Background(), q)
+		if sink != nil {
+			res, err = solver.StreamFunc(context.Background(), q, sink)
+		} else {
+			res, err = solver.Solve(context.Background(), q)
+		}
 	}
 	if err != nil {
 		return err
@@ -161,6 +192,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return emit(out, *graphPath, solver.Graph(), q, res, *asJSON, *printVerts)
+}
+
+// printEvent prints one certified refinement answer of a -stream run: a
+// one-line wire.StreamEvent JSON with -json, otherwise the interval the
+// answer certifies. The upper end is "inf" until the first upper
+// certificate appears.
+func printEvent(out io.Writer, a dsd.Answer, asJSON bool) {
+	if asJSON {
+		json.NewEncoder(out).Encode(wire.FromAnswer(a, false))
+		return
+	}
+	upper := "inf"
+	if !math.IsInf(a.Bound, 1) {
+		upper = fmt.Sprintf("%.6f", a.Bound)
+	}
+	fmt.Fprintf(out, "stream[%s]: |V|=%d  interval=[%.6f, %s]  t=%s\n",
+		a.Stage, len(a.Witness), a.Density.Float(), upper, a.Elapsed.Round(time.Microsecond))
 }
 
 // emit prints one solve's answer, as text or in the dsdd v2 JSON
@@ -228,7 +276,10 @@ func loadMutation(path string) (dsd.Mutation, error) {
 // derived from its content (idempotent — a re-run or a second CLI
 // finding the graph already registered is fine), then the component
 // searches distribute exactly as a dsdd coordinator's would.
-func solveSharded(ctx context.Context, path string, g *dsd.Graph, q dsd.Query) (*dsd.Result, error) {
+// A non-nil sink streams the coordinator's certified answers (-stream);
+// the guard below keeps the coordinator's merge-cell notification
+// goroutines from writing after the solve returns.
+func solveSharded(ctx context.Context, path string, g *dsd.Graph, q dsd.Query, sink func(dsd.Answer)) (*dsd.Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -247,5 +298,20 @@ func solveSharded(ctx context.Context, path string, g *dsd.Graph, q dsd.Query) (
 		}
 	}
 	coord := shard.NewCoordinator(shard.SingleSolver(name, dsd.NewSolver(g)), shard.NewSet(), shard.Config{})
-	return coord.Solve(ctx, name, q)
+	if sink == nil {
+		return coord.Solve(ctx, name, q)
+	}
+	var mu sync.Mutex
+	stopped := false
+	res, err := coord.SolveObserved(ctx, name, q, func(a dsd.Answer) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !stopped {
+			sink(a)
+		}
+	})
+	mu.Lock()
+	stopped = true
+	mu.Unlock()
+	return res, err
 }

@@ -45,6 +45,9 @@ type ComponentOutcome struct {
 	// deadline-degrading coordinator takes the max over surviving Uppers
 	// as its interval top.
 	Upper float64
+	// GapStop reports the search stopped at the Options.Gap accuracy
+	// budget rather than closing the interval completely.
+	GapStop bool
 }
 
 // SearchComponent runs the per-component binary search of Algorithm 4
@@ -62,10 +65,23 @@ type ComponentOutcome struct {
 // concurrent SearchComponent calls.
 func SearchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition,
 	opts Options, bounds BoundSource, comp []int32, kLocate int64) (*ComponentOutcome, error) {
+	return SearchComponentObserved(ctx, g, o, dec, opts, bounds, comp, kLocate, nil)
+}
+
+// SearchComponentObserved is SearchComponent with a live upper-bound hook:
+// when onUpper is non-nil it receives every strict tightening of the
+// search's certified upper bound (initially the component's max core
+// number), in monotone decreasing order, on the search's own goroutine.
+// Together with the Improve calls the search makes on bounds, this turns
+// the whole binary search into an emittable stream of certified interval
+// refinements — the anytime planner's substrate.
+func SearchComponentObserved(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *psicore.Decomposition,
+	opts Options, bounds BoundSource, comp []int32, kLocate int64, onUpper func(float64)) (*ComponentOutcome, error) {
 	n := g.N()
 	globalStop := 1.0 / (float64(n) * float64(n-1))
 	tr := &trackingBounds{inner: bounds}
 	slots := newUpperSlots([]float64{float64(maxCoreOf(comp, dec))})
+	slots[0].notify = onUpper
 	cs, err := searchComponent(ctx, g, o, dec, opts, tr, comp, kLocate, globalStop, int64(o.Size()), &slots[0])
 	if err != nil {
 		return nil, err
@@ -81,6 +97,7 @@ func SearchComponent(ctx context.Context, g *graph.Graph, o motif.Oracle, dec *p
 		FlowTime:      cs.flowNS,
 		PreSolveTime:  cs.preNS,
 		Upper:         slots[0].get(),
+		GapStop:       cs.gapStop,
 	}, nil
 }
 

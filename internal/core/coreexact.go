@@ -460,8 +460,13 @@ func coreExactDriverState(ctx context.Context, g *graph.Graph, o motif.Oracle, o
 // (solver max-load/T, infeasible probe α, core shrink below p); the
 // driver reads the survivors when a degraded run assembles its Bound.
 // Writes are monotone decreasing; the CAS loop makes concurrent readers
-// safe even though each slot has a single writer.
-type upperSlot struct{ bits atomic.Uint64 }
+// safe even though each slot has a single writer. notify, when set,
+// observes each successful tightening (single writer ⇒ the calls are
+// serialized and monotone).
+type upperSlot struct {
+	bits   atomic.Uint64
+	notify func(float64)
+}
 
 func newUpperSlots(uppers []float64) []upperSlot {
 	slots := make([]upperSlot, len(uppers))
@@ -483,6 +488,9 @@ func (s *upperSlot) lower(v float64) {
 			return
 		}
 		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			if s.notify != nil {
+				s.notify(v)
+			}
 			return
 		}
 	}

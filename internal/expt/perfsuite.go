@@ -122,6 +122,22 @@ type BenchCase struct {
 	DegradeLower      float64 `json:"degrade_lower,omitempty"`
 	DegradeUpper      float64 `json:"degrade_upper,omitempty"`
 	DegradeCertified  *bool   `json:"degrade_certified,omitempty"`
+	// The anytime arm: the same query answered through the streaming
+	// planner (Solver.StreamFunc) on a warm Solver — the serving scenario
+	// of POST /v1/stream. AnytimeFirstNs is the time to the first
+	// certified answer on the stream, AnytimeNsOp the full streamed solve,
+	// AnytimeFirstFrac = AnytimeFirstNs/SerialNsOp (the anytime headline,
+	// gated < 0.05 on the dedicated "anytime-" case), AnytimeEvents how
+	// many certified tightenings the stream delivered. AnytimeMatch gates
+	// the streamed final bit-identical to the plain Solve density;
+	// AnytimeMonotone that across every rep the interval never widened
+	// event to event (lower ends only rose, upper ends only fell).
+	AnytimeNsOp      int64   `json:"anytime_ns_op,omitempty"`
+	AnytimeFirstNs   int64   `json:"anytime_first_ns,omitempty"`
+	AnytimeFirstFrac float64 `json:"anytime_first_frac,omitempty"`
+	AnytimeEvents    int     `json:"anytime_events,omitempty"`
+	AnytimeMatch     *bool   `json:"anytime_match,omitempty"`
+	AnytimeMonotone  *bool   `json:"anytime_monotone,omitempty"`
 	// The obs arm: the iterative configuration re-run under a live
 	// obs.Tracer, so every phase span is recorded. ObsNsOp against
 	// IterativeNsOp is the tracing overhead the suite gates; ObsMatch that
@@ -278,6 +294,50 @@ func degradeArm(s *dsd.Solver, h int, exactNs int64, reps int) (ns, deadline int
 		}
 	}
 	return 0, 0, nil
+}
+
+// anytimeArm measures the streaming planner on a warm Solver: reps
+// StreamFunc runs, reporting the fastest run's wall clock, its
+// time-to-first-certified-answer, and its event count. match requires
+// every rep's final density bit-identical (Num and Den, not just value)
+// to exact; monotone that no rep's stream ever widened the interval.
+func anytimeArm(s *dsd.Solver, h int, exact *core.Result, reps int) (ns, firstNs int64, events int, match, monotone bool) {
+	match, monotone = true, true
+	for i := 0; i < reps; i++ {
+		var repFirst int64
+		var repEvents int
+		var prevLower, prevUpper = -1.0, 0.0
+		prevUpperSet := false
+		start := time.Now()
+		res, err := s.StreamFunc(context.Background(), dsd.Query{H: h}, func(a dsd.Answer) {
+			if repEvents == 0 {
+				repFirst = time.Since(start).Nanoseconds()
+			}
+			repEvents++
+			lower := a.Density.Float()
+			if lower < prevLower {
+				monotone = false
+			}
+			if prevUpperSet && a.Bound > prevUpper {
+				monotone = false
+			}
+			prevLower = lower
+			prevUpper, prevUpperSet = a.Bound, true
+		})
+		total := time.Since(start).Nanoseconds()
+		if err != nil || res == nil || repEvents == 0 {
+			match = false
+			continue
+		}
+		if res.Density.Cmp(exact.Density) != 0 ||
+			res.Density.Num != exact.Density.Num || res.Density.Den != exact.Density.Den {
+			match = false
+		}
+		if ns == 0 || total < ns {
+			ns, firstNs, events = total, repFirst, repEvents
+		}
+	}
+	return ns, firstNs, events, match, monotone
 }
 
 // bestOf times fn over reps runs and returns the fastest, the standard
@@ -542,6 +602,39 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 		}
 	}
 
+	// The dedicated anytime stress case: triangle-densest on the
+	// multi-community instance, streamed through the planner on a warm
+	// Solver. The gates are the streaming subsystem's acceptance criteria:
+	// the first certified answer must appear in under 5% of the exact
+	// solve's wall clock (on a warm solver the memo rung answers in
+	// microseconds), the final streamed density must be bit-identical to
+	// plain Solve, and the certified interval may never widen between
+	// events.
+	{
+		s := dsd.NewSolver(multi)
+		var exactRes *core.Result
+		exactNs := bestOf(reps, func() { exactRes, _ = s.Solve(context.Background(), dsd.Query{H: 3}) })
+		ns, firstNs, events, match, monotone := anytimeArm(s, 3, exactRes, reps)
+		if ns == 0 {
+			return nil, fmt.Errorf("anytime arm: no streamed run completed")
+		}
+		rep.Cases = append(rep.Cases, BenchCase{
+			Name:             "anytime-multicommunity-triangle",
+			Algo:             "core-exact",
+			Motif:            motif.Clique{H: 3}.Name(),
+			N:                multi.N(),
+			M:                multi.M(),
+			SerialNsOp:       exactNs,
+			AnytimeNsOp:      ns,
+			AnytimeFirstNs:   firstNs,
+			AnytimeFirstFrac: float64(firstNs) / float64(exactNs),
+			AnytimeEvents:    events,
+			AnytimeMatch:     &match,
+			AnytimeMonotone:  &monotone,
+			Density:          exactRes.Density.Float(),
+		})
+	}
+
 	// Parallel clique-degree seeding of the (k,Ψ)-core decomposition.
 	{
 		o := motif.Clique{H: 4}
@@ -634,6 +727,10 @@ func RunPerfSuite(cfg Config) error {
 		if c.DegradeNsOp > 0 {
 			warm = fmt.Sprintf("%s (%.1f%%)", secs(time.Duration(c.DegradeNsOp)), 100*c.DegradeRatio)
 			match = fmt.Sprintf("%v", *c.DegradeCertified)
+		}
+		if c.AnytimeNsOp > 0 {
+			warm = fmt.Sprintf("first %s (%.2f%%)", secs(time.Duration(c.AnytimeFirstNs)), 100*c.AnytimeFirstFrac)
+			match = fmt.Sprintf("%v", *c.AnytimeMatch && *c.AnytimeMonotone)
 		}
 		t.row(c.Name, c.Algo, c.Motif, secs(time.Duration(c.SerialNsOp)), par, speed, iter, solves, warm, match)
 	}
@@ -788,6 +885,32 @@ func ValidateBenchReport(data []byte) error {
 			if strings.HasPrefix(c.Name, "degrade-") && float64(c.DegradeNsOp) >= 0.10*float64(c.SerialNsOp) {
 				return fmt.Errorf("bench report: case %q: degraded answer took %dns, want < 10%% of exact %dns",
 					c.Name, c.DegradeNsOp, c.SerialNsOp)
+			}
+		}
+		if c.AnytimeNsOp > 0 {
+			if c.AnytimeFirstNs <= 0 {
+				return fmt.Errorf("bench report: case %q: anytime arm without anytime_first_ns", c.Name)
+			}
+			if c.AnytimeEvents < 1 {
+				return fmt.Errorf("bench report: case %q: anytime arm delivered no events", c.Name)
+			}
+			// The exactness gate: the streamed final must be bit-identical
+			// to the plain solve — the planner may only prune, never change
+			// an optimum.
+			if c.AnytimeMatch == nil || !*c.AnytimeMatch {
+				return fmt.Errorf("bench report: case %q: streamed final density does not match plain solve", c.Name)
+			}
+			// The certification gate: a stream whose interval ever widened
+			// delivered an uncertified event.
+			if c.AnytimeMonotone == nil || !*c.AnytimeMonotone {
+				return fmt.Errorf("bench report: case %q: streamed interval widened between events", c.Name)
+			}
+			// The latency gate on the dedicated case: the first certified
+			// answer must land in under 5% of the exact solve — the point of
+			// streaming instead of waiting.
+			if strings.HasPrefix(c.Name, "anytime-") && float64(c.AnytimeFirstNs) >= 0.05*float64(c.SerialNsOp) {
+				return fmt.Errorf("bench report: case %q: first certified answer took %dns, want < 5%% of exact %dns",
+					c.Name, c.AnytimeFirstNs, c.SerialNsOp)
 			}
 		}
 		if c.WarmNsOp > 0 {

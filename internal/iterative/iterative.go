@@ -74,6 +74,12 @@ type Solver struct {
 	lower      rational.R
 	lowerVerts []int32
 
+	// Progress, when non-nil, is invoked after every completed chunk of a
+	// RunAdaptive call, on the caller's goroutine — the anytime planner's
+	// per-chunk emission hook. The callback may read Lower/Upper/UpperFloat
+	// freely (same goroutine, between iterations) but must not call Run.
+	Progress func()
+
 	// dead/order/delta/touched/keys/q are per-iteration scratch, reused
 	// across iterations; delta batches each removal's key decrements so
 	// the bucket queue sees one operation per co-member, not one per
@@ -208,6 +214,9 @@ func (s *Solver) RunAdaptive(ctx context.Context, budget int) (int, error) {
 			return run, err
 		}
 		run += step
+		if s.Progress != nil {
+			s.Progress()
+		}
 		ng := s.gap()
 		if ng <= 0 {
 			break

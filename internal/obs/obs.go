@@ -43,6 +43,9 @@ const (
 	// SpanMutate is one dsd.Solver.Apply edge-mutation batch: copy-on-write
 	// graph build plus incremental memo repair.
 	SpanMutate = "mutate"
+	// SpanPlan is the anytime planner's ladder decision: which refinement
+	// rungs a streamed query runs, and what each rung certified.
+	SpanPlan = "plan"
 )
 
 // ctxKey carries the ambient (tracer, current span) scope.

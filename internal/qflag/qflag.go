@@ -111,6 +111,31 @@ func (b *Builder) Gap(fs *flag.FlagSet, name string) {
 		"core-exact relative accuracy budget, e.g. 0.05: stop component searches within this gap of certainty (0 = exact)")
 }
 
+// BudgetSet reports whether a parsed anytime budget flag (deadline or
+// gap) carries a non-zero value — the flags that only make sense on the
+// core-exact engine.
+func (b *Builder) BudgetSet() bool {
+	return (b.deadline != nil && *b.deadline > 0) || (b.gap != nil && *b.gap > 0)
+}
+
+// InferCoreExact rewrites the parsed algorithm flag to core-exact and
+// returns the name it replaced, or "" when nothing changed (the flag was
+// unset, unregistered, or already core-exact). CLIs call it when an
+// anytime flag (-deadline, -gap, -stream) was given with a conflicting
+// algorithm, so the budget wins with a warning instead of erroring in
+// Query's normalization.
+func (b *Builder) InferCoreExact() string {
+	if b.algo == nil {
+		return ""
+	}
+	old := *b.algo
+	if old == "" || old == string(dsd.AlgoCoreExact) {
+		return ""
+	}
+	*b.algo = string(dsd.AlgoCoreExact)
+	return old
+}
+
 // Query assembles the dsd.Query from the registered flags' parsed values
 // and normalizes it, so flag mistakes (unknown motif or algorithm,
 // conflicting variant parameters) surface here with the library's

@@ -4,6 +4,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -47,6 +48,94 @@ func (c *Client) QueryV2(ctx context.Context, req wire.QueryV2Request) (*wire.Qu
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// StreamQuery runs a v2 query as an anytime stream (POST /v1/stream):
+// fn is invoked for every Server-Sent answer event in arrival order —
+// each a certified interval, each tightening the one before — and the
+// final event is also returned. A server-side failure after the stream
+// starts surfaces as an error carrying the server's message, as do
+// pre-stream rejections (the familiar status-mapped errors: 503 on
+// shed, 404 on an unknown graph, …). fn may be nil to only collect the
+// final answer.
+func (c *Client) StreamQuery(ctx context.Context, req wire.QueryV2Request, fn func(wire.StreamEvent)) (*wire.StreamEvent, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/stream", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr wire.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("client: POST /v1/stream: status %d: %s", resp.StatusCode, apiErr.Error)
+		}
+		return nil, fmt.Errorf("client: POST /v1/stream: status %d", resp.StatusCode)
+	}
+	var final *wire.StreamEvent
+	dispatch := func(event string, data []byte) error {
+		if len(data) == 0 {
+			return nil
+		}
+		switch event {
+		case "error":
+			var apiErr wire.ErrorResponse
+			if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+				return fmt.Errorf("client: stream failed: %s", apiErr.Error)
+			}
+			return fmt.Errorf("client: stream failed: %s", data)
+		default: // "answer" or "final"
+			var ev wire.StreamEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("client: bad stream event: %w", err)
+			}
+			if fn != nil {
+				fn(ev)
+			}
+			if ev.Final {
+				final = &ev
+			}
+			return nil
+		}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var event string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := dispatch(event, data); err != nil {
+				return nil, err
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Tolerate a terminal event not followed by a blank line.
+	if err := dispatch(event, data); err != nil {
+		return nil, err
+	}
+	if final == nil {
+		return nil, fmt.Errorf("client: stream ended without a final event")
+	}
+	return final, nil
 }
 
 // RegisterEdges registers a graph from an inline edge list.

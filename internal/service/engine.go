@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -119,6 +120,72 @@ type Engine struct {
 	errors       atomic.Int64
 	shed         atomic.Int64
 	shardQueries atomic.Int64
+	streams      atomic.Int64
+
+	drain drainEst
+}
+
+// drainEst estimates the admission queue's drain rate: an EWMA of the
+// gaps between computation completions. Shed responses derive their
+// Retry-After from it — queue occupancy × the estimated per-completion
+// gap says when a freed slot is actually likely, instead of a hard-coded
+// constant.
+type drainEst struct {
+	mu   sync.Mutex
+	last time.Time
+	ewma float64 // seconds per completion
+	n    int64
+}
+
+// observe records one computation completion at now.
+func (d *drainEst) observe(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.last.IsZero() {
+		gap := now.Sub(d.last).Seconds()
+		if d.n == 0 {
+			d.ewma = gap
+		} else {
+			d.ewma = 0.75*d.ewma + 0.25*gap
+		}
+		d.n++
+	}
+	d.last = now
+}
+
+// estimate returns the EWMA gap in seconds and whether any sample
+// exists yet.
+func (d *drainEst) estimate() (float64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ewma, d.n > 0
+}
+
+// RetryAfter is the engine's current shed back-off advice: how long a
+// shed caller should wait before a retry has a real chance of admission.
+// It is the admission queue's occupancy times the observed EWMA
+// inter-completion gap, clamped to [ShedRetryAfter, MaxShedRetryAfter];
+// with no completions observed yet (or an unbounded queue) it is the
+// floor. The HTTP layer serves it as the Retry-After header on 503s and
+// /v1/stats reports it so clients can pace themselves before shedding
+// starts.
+func (e *Engine) RetryAfter() time.Duration {
+	queued := 0
+	if e.admit != nil {
+		queued = len(e.admit)
+	}
+	gap, ok := e.drain.estimate()
+	if !ok || queued == 0 {
+		return ShedRetryAfter
+	}
+	est := time.Duration(gap * float64(queued) * float64(time.Second))
+	if est < ShedRetryAfter {
+		return ShedRetryAfter
+	}
+	if est > MaxShedRetryAfter {
+		return MaxShedRetryAfter
+	}
+	return est
 }
 
 // ErrOverloaded is returned (wrapped) when the admission queue is full:
@@ -174,6 +241,8 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		"Queries shed at admission because the queue was full.")
 	metrics.Counter("dsd_degraded_total",
 		"Queries answered degraded (certified bounds, not the exact optimum).")
+	metrics.Counter("dsd_stream_events_total",
+		"Certified answers delivered on anytime streams.")
 	return &Engine{
 		reg:           reg,
 		cache:         NewCache(),
@@ -223,7 +292,7 @@ func (e *Engine) Solve(ctx context.Context, graphName string, q dsd.Query, timeo
 			e.errors.Add(1)
 		}
 	}()
-	return e.solve(ctx, graphName, q, timeout)
+	return e.solve(ctx, graphName, q, timeout, nil)
 }
 
 // Query answers the v1 (graph, pattern, algo) triple by decoding it into
@@ -245,7 +314,7 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 	if err != nil {
 		return nil, false, err
 	}
-	return e.solve(ctx, graphName, dsd.Query{Pattern: p, Algo: a}, timeout)
+	return e.solve(ctx, graphName, dsd.Query{Pattern: p, Algo: a}, timeout, nil)
 }
 
 // Resolve applies the engine's default knobs to the fields q leaves at
@@ -285,10 +354,16 @@ func (e *Engine) ResolveFor(graphName string, q dsd.Query) (dsd.Query, error) {
 	return nq, nil
 }
 
-// solve is the shared pipeline behind Solve and Query (counters are the
-// callers' concern): resolve the graph, apply engine defaults, normalize,
-// and run through the single-flight cache on the canonical query key.
-func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeout time.Duration) (res *core.Result, cached bool, err error) {
+// solve is the shared pipeline behind Solve, Query, and Stream (counters
+// are the callers' concern): resolve the graph, apply engine defaults,
+// normalize, and run through the single-flight cache on the canonical
+// query key. A non-nil sink turns the computation into a refinement
+// stream: the single-flight LEADER pushes every certified answer through
+// it while computing (joiners and cache hits get nothing here — their
+// one synthesized final event is the caller's concern), and only the
+// terminal result enters the cache, so intermediate answers can never be
+// served to anyone as a cached exact value.
+func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeout time.Duration, sink func(dsd.Answer)) (res *core.Result, cached bool, err error) {
 	// Per-request accounting: one counter increment per (graph, algo,
 	// outcome) and one end-to-end latency observation per (graph, algo) —
 	// cache hits included, since the caller's latency is what the
@@ -352,7 +427,12 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 		if e.admit != nil {
 			select {
 			case e.admit <- struct{}{}:
-				defer func() { <-e.admit }()
+				defer func() {
+					<-e.admit
+					// A released slot is a drain-rate sample; shed
+					// Retry-After advice is derived from these.
+					e.drain.observe(time.Now())
+				}()
 			default:
 				e.shed.Add(1)
 				e.metrics.Counter("dsd_shed_total",
@@ -425,14 +505,21 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 			}
 			var r *core.Result
 			var err error
-			if e.coord.Routable(nq) {
+			switch {
+			case e.coord.Routable(nq):
 				// Distributed execution: plan locally, fan the located
 				// core's components across the shard workers, merge. The
 				// density is bit-identical to the in-process engine's; a
 				// dead worker costs a local fallback, never the query.
 				e.shardQueries.Add(1)
-				r, err = e.coord.Solve(algoCtx, graphName, nq)
-			} else {
+				if sink != nil {
+					r, err = e.coord.SolveObserved(algoCtx, graphName, nq, sink)
+				} else {
+					r, err = e.coord.Solve(algoCtx, graphName, nq)
+				}
+			case sink != nil:
+				r, err = entry.Solver.StreamFunc(algoCtx, nq, sink)
+			default:
 				r, err = entry.Solver.Solve(algoCtx, nq)
 			}
 			root.End()
@@ -586,18 +673,20 @@ func (e *Engine) Stats() wire.StatsResponse {
 		}
 	}
 	return wire.StatsResponse{
-		Graphs:        e.reg.Len(),
-		Workers:       cap(e.sem),
-		AlgoWorkers:   e.algoWorkers,
-		AlgoIterative: e.algoIterative,
-		Queries:       e.queries.Load(),
-		Computes:      e.computes.Load(),
-		CacheHits:     e.hits.Load(),
-		Errors:        e.errors.Load(),
-		AwaitOrphans:  dsd.AwaitOrphans(),
-		Shed:          e.shed.Load(),
-		Shards:        e.coord.Set().Len(),
-		ShardQueries:  e.shardQueries.Load(),
-		ShardWorkers:  shardWorkers,
+		Graphs:            e.reg.Len(),
+		Workers:           cap(e.sem),
+		AlgoWorkers:       e.algoWorkers,
+		AlgoIterative:     e.algoIterative,
+		Queries:           e.queries.Load(),
+		Computes:          e.computes.Load(),
+		CacheHits:         e.hits.Load(),
+		Errors:            e.errors.Load(),
+		AwaitOrphans:      dsd.AwaitOrphans(),
+		Shed:              e.shed.Load(),
+		Shards:            e.coord.Set().Len(),
+		ShardQueries:      e.shardQueries.Load(),
+		ShardWorkers:      shardWorkers,
+		Streams:           e.streams.Load(),
+		RetryAfterSeconds: e.RetryAfter().Seconds(),
 	}
 }

@@ -54,6 +54,7 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	s := &Server{reg: reg, engine: NewEngine(reg, cfg), worker: shard.NewWorker(reg)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v2/query", s.handleQueryV2)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
@@ -108,7 +109,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	res, cached, err := s.engine.Solve(r.Context(), req.Graph, nq,
 		time.Duration(req.TimeoutMs)*time.Millisecond)
 	if err != nil {
-		writeQueryError(w, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	resp := wire.QueryV2Response{
@@ -140,7 +141,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, cached, err := s.engine.Query(r.Context(), req.Graph, req.Pattern, algo,
 		time.Duration(req.TimeoutMs)*time.Millisecond)
 	if err != nil {
-		writeQueryError(w, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.QueryResponse{
@@ -334,18 +335,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// ShedRetryAfter is the Retry-After suggestion on shed (503) query
-// responses: long enough for queued computations to drain a slot, short
-// enough that a backed-off client re-offers promptly.
-const ShedRetryAfter = 1 * time.Second
+// ShedRetryAfter is the floor of the Retry-After suggestion on shed
+// (503) query responses; MaxShedRetryAfter caps it. Between the two the
+// advice is live: queue occupancy times the engine's observed drain
+// rate (Engine.RetryAfter), so a lightly backed-up server invites a
+// quick retry while a deeply queued one pushes the herd further out.
+const (
+	ShedRetryAfter    = 1 * time.Second
+	MaxShedRetryAfter = 30 * time.Second
+)
 
 // writeQueryError answers a failed query, mapping the error to a status
 // and decorating shed responses with the Retry-After header the
 // coordinator's (and any well-behaved client's) backoff honors.
-func writeQueryError(w http.ResponseWriter, err error) {
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(ShedRetryAfter.Seconds())))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.engine.RetryAfter().Seconds())))
 	}
 	writeError(w, status, err)
 }

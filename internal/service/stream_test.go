@@ -1,0 +1,329 @@
+package service
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	dsd "repro"
+	"repro/internal/service/client"
+	"repro/internal/service/wire"
+)
+
+// TestEngineStreamDeliversAndCaches: a fresh Engine.Stream delivers a
+// certified monotone event sequence ending in a final, the result equals
+// Solve's, and exactly the terminal result lands in the cache — a
+// follow-up Solve is a hit with the identical answer.
+func TestEngineStreamDeliversAndCaches(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	q := dsd.Query{Algo: dsd.AlgoCoreExact}
+	var mu sync.Mutex
+	var events []dsd.Answer
+	res, cached, err := e.Stream(context.Background(), "bowtie", q, 0, func(a dsd.Answer, fromCache bool) {
+		if fromCache {
+			t.Error("live stream event flagged cached")
+		}
+		mu.Lock()
+		events = append(events, a)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first stream reported cached")
+	}
+	if len(events) == 0 {
+		t.Fatal("stream delivered no events")
+	}
+	last := events[len(events)-1]
+	if !last.Final {
+		t.Fatalf("last event not final: %+v", last)
+	}
+	if last.Density.Cmp(res.Density) != 0 {
+		t.Fatalf("final event density %v != result %v", last.Density, res.Density)
+	}
+	// Monotonicity across the delivered sequence.
+	for i := 1; i < len(events); i++ {
+		if events[i].Density.Less(events[i-1].Density) {
+			t.Fatalf("event %d lower end fell: %v -> %v", i, events[i-1].Density, events[i].Density)
+		}
+		if events[i].Bound > events[i-1].Bound {
+			t.Fatalf("event %d upper end rose: %v -> %v", i, events[i-1].Bound, events[i].Bound)
+		}
+	}
+	if e.cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries after stream, want 1 (the terminal result)", e.cache.Len())
+	}
+	sres, scached, err := e.Solve(context.Background(), "bowtie", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scached {
+		t.Fatal("Solve after stream not served from cache")
+	}
+	assertSameResult(t, sres, res)
+}
+
+// TestEngineStreamSharesSingleFlight: a stream and a plain solve for the
+// same key, launched together, compute once; every caller gets the same
+// answer and every stream still ends with a final event.
+func TestEngineStreamSharesSingleFlight(t *testing.T) {
+	release := make(chan struct{})
+	var entered sync.WaitGroup
+	entered.Add(1)
+	var once sync.Once
+	e := newTestEngine(t, Config{Workers: 4, ComputeHook: func() {
+		once.Do(entered.Done)
+		<-release
+	}})
+	q := dsd.Query{Algo: dsd.AlgoCoreExact}
+
+	const streams, solves = 3, 3
+	results := make([]*dsd.Result, streams+solves)
+	finals := make([]atomic.Int64, streams)
+	errs := make([]error, streams+solves)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = e.Stream(context.Background(), "bowtie", q, 0, func(a dsd.Answer, _ bool) {
+				if a.Final {
+					finals[i].Add(1)
+				}
+			})
+		}(i)
+	}
+	for i := 0; i < solves; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[streams+i], _, errs[streams+i] = e.Solve(context.Background(), "bowtie", q, 0)
+		}(i)
+	}
+	entered.Wait()
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := e.Stats().Computes; got != 1 {
+		t.Fatalf("computes = %d, want 1 (stream and solve must share single flight)", got)
+	}
+	for i := 1; i < len(results); i++ {
+		assertSameResult(t, results[i], results[0])
+	}
+	for i := range finals {
+		if n := finals[i].Load(); n != 1 {
+			t.Fatalf("stream %d saw %d final events, want exactly 1", i, n)
+		}
+	}
+}
+
+// TestEngineStreamCacheHit: a stream over an already-cached key delivers
+// exactly one synthesized final event, flagged cached.
+func TestEngineStreamCacheHit(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	q := dsd.Query{Algo: dsd.AlgoCoreExact}
+	want, _, err := e.Solve(context.Background(), "bowtie", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []dsd.Answer
+	var flags []bool
+	res, cached, err := e.Stream(context.Background(), "bowtie", q, 0, func(a dsd.Answer, fromCache bool) {
+		events = append(events, a)
+		flags = append(flags, fromCache)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("stream over a warm cache not reported cached")
+	}
+	if len(events) != 1 || !events[0].Final || !flags[0] {
+		t.Fatalf("cached stream events = %d (final=%v cached=%v), want one cached final",
+			len(events), len(events) > 0 && events[0].Final, len(flags) > 0 && flags[0])
+	}
+	assertSameResult(t, res, want)
+	if events[0].Density.Cmp(want.Density) != 0 {
+		t.Fatalf("cached final density %v != %v", events[0].Density, want.Density)
+	}
+	if events[0].Bound != want.Density.Float() {
+		t.Fatalf("cached final bound %v != exact density %v", events[0].Bound, want.Density.Float())
+	}
+}
+
+// TestEngineStreamDegradedNotCached: a degraded stream final (deadline
+// hit) must not be served from the exact cache — the next identical
+// query recomputes.
+func TestEngineStreamDegradedNotCached(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	q := dsd.Query{Algo: dsd.AlgoCoreExact, Deadline: time.Nanosecond}
+	var last dsd.Answer
+	res, _, err := e.Stream(context.Background(), "bowtie", q, 0, func(a dsd.Answer, _ bool) { last = a })
+	// A 1ns deadline ends in one of two certified-safe ways: an error
+	// (nothing certified before the budget fired) or a Degraded final.
+	// Either way the exact cache must stay empty and the next identical
+	// query must recompute.
+	switch {
+	case err == nil && res.Degraded:
+		if !last.Final || !last.Degraded {
+			t.Fatalf("terminal event of a degraded stream = %+v, want final+degraded", last)
+		}
+	case err == nil:
+		t.Skip("1ns deadline still finished exactly; nothing to assert")
+	}
+	if e.cache.Len() != 0 {
+		t.Fatalf("deadline-hit stream result was cached (%d entries)", e.cache.Len())
+	}
+	if _, cached, err := e.Stream(context.Background(), "bowtie", q, 0, func(dsd.Answer, bool) {}); err == nil && cached {
+		t.Fatal("second stream after a degraded final was served from cache")
+	}
+	if got := e.Stats().Computes; got != 2 {
+		t.Fatalf("computes = %d, want 2 (degraded finals must not short-circuit)", got)
+	}
+}
+
+// TestRetryAfterClamped: the drain-rate Retry-After stays inside
+// [ShedRetryAfter, MaxShedRetryAfter] whatever the estimator holds.
+func TestRetryAfterClamped(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 4})
+	// No samples yet: the floor.
+	if got := e.RetryAfter(); got != ShedRetryAfter {
+		t.Fatalf("RetryAfter with no samples = %v, want %v", got, ShedRetryAfter)
+	}
+	// A huge observed gap with a queued backlog clamps to the cap.
+	base := time.Now()
+	e.drain.observe(base)
+	e.drain.observe(base.Add(10 * time.Minute))
+	e.admit <- struct{}{}
+	if got := e.RetryAfter(); got != MaxShedRetryAfter {
+		t.Fatalf("RetryAfter with a 10m gap = %v, want cap %v", got, MaxShedRetryAfter)
+	}
+	// A tiny gap clamps to the floor.
+	e.drain.observe(base.Add(10*time.Minute + time.Microsecond))
+	e.drain.observe(base.Add(10*time.Minute + 2*time.Microsecond))
+	e.drain.observe(base.Add(10*time.Minute + 3*time.Microsecond))
+	e.drain.observe(base.Add(10*time.Minute + 4*time.Microsecond))
+	e.drain.observe(base.Add(10*time.Minute + 5*time.Microsecond))
+	e.drain.observe(base.Add(10*time.Minute + 6*time.Microsecond))
+	e.drain.observe(base.Add(10*time.Minute + 7*time.Microsecond))
+	<-e.admit
+	if got := e.RetryAfter(); got != ShedRetryAfter {
+		t.Fatalf("RetryAfter with an empty queue = %v, want floor %v", got, ShedRetryAfter)
+	}
+	if s := e.Stats(); s.RetryAfterSeconds != e.RetryAfter().Seconds() {
+		t.Fatalf("Stats().RetryAfterSeconds = %v, want %v", s.RetryAfterSeconds, e.RetryAfter().Seconds())
+	}
+}
+
+// TestHTTPStreamSSE drives POST /v1/stream over a real loopback server
+// through the client's SSE parser: the final event matches a plain
+// /v2/query answer, a re-run is served as one cached final, and stream
+// counters surface in /v1/stats.
+func TestHTTPStreamSSE(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Register("bowtie", bowtie()); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+
+	req := wire.QueryV2Request{Graph: "bowtie", Query: wire.Query{Pattern: "triangle", Algo: "core-exact"}}
+	var events []wire.StreamEvent
+	final, err := c.StreamQuery(context.Background(), req, func(ev wire.StreamEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Final || final.Cached {
+		t.Fatalf("first stream final = %+v, want live final", final)
+	}
+	if len(events) == 0 || !events[len(events)-1].Final {
+		t.Fatalf("stream delivered %d events; last must be the final", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Density < events[i-1].Density-1e-12 {
+			t.Fatalf("wire event %d density fell: %v -> %v", i, events[i-1].Density, events[i].Density)
+		}
+		prev, cur := math.Inf(1), math.Inf(1)
+		if events[i-1].Upper != nil {
+			prev = *events[i-1].Upper
+		}
+		if events[i].Upper != nil {
+			cur = *events[i].Upper
+		}
+		if cur > prev {
+			t.Fatalf("wire event %d upper rose: %v -> %v", i, prev, cur)
+		}
+	}
+
+	want, err := c.QueryV2(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Cached {
+		t.Fatal("QueryV2 after a streamed computation not served from cache")
+	}
+	if final.DensityNum != want.Result.DensityNum || final.DensityDen != want.Result.DensityDen {
+		t.Fatalf("streamed final %d/%d != solved %d/%d",
+			final.DensityNum, final.DensityDen, want.Result.DensityNum, want.Result.DensityDen)
+	}
+
+	refinal, err := c.StreamQuery(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refinal.Cached || !refinal.Final {
+		t.Fatalf("re-streamed final = %+v, want cached final", refinal)
+	}
+	if refinal.DensityNum != final.DensityNum || refinal.DensityDen != final.DensityDen {
+		t.Fatalf("cached final density %d/%d != live %d/%d",
+			refinal.DensityNum, refinal.DensityDen, final.DensityNum, final.DensityDen)
+	}
+
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Streams != 2 {
+		t.Fatalf("stats.Streams = %d, want 2", stats.Streams)
+	}
+	if stats.RetryAfterSeconds <= 0 {
+		t.Fatalf("stats.RetryAfterSeconds = %v, want > 0", stats.RetryAfterSeconds)
+	}
+}
+
+// TestHTTPStreamErrors: pre-stream failures keep their proper HTTP
+// status instead of a dead 200.
+func TestHTTPStreamErrors(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Register("bowtie", bowtie()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg, Config{Workers: 1}))
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+
+	if _, err := c.StreamQuery(context.Background(), wire.QueryV2Request{
+		Graph: "nope", Query: wire.Query{Algo: "core-exact"},
+	}, nil); err == nil {
+		t.Fatal("stream on an unknown graph succeeded")
+	}
+	// A non-core-exact algo cannot stream; the engine rejects it before
+	// any event, so the client sees a status-mapped error.
+	if _, err := c.StreamQuery(context.Background(), wire.QueryV2Request{
+		Graph: "bowtie", Query: wire.Query{Algo: "peel"},
+	}, nil); err == nil {
+		t.Fatal("stream with algo=peel succeeded")
+	}
+}

@@ -12,6 +12,7 @@
 package wire
 
 import (
+	"math"
 	"time"
 
 	dsd "repro"
@@ -73,6 +74,52 @@ func FromResult(res *core.Result) *Result {
 		w.BoundUpper = res.Bound.Upper
 	}
 	return w
+}
+
+// StreamEvent is one Server-Sent Event of an anytime stream (POST
+// /v1/stream): a certified refinement interval. Density (carried exactly
+// as DensityNum/DensityDen alongside its float) is the witness's density
+// — the interval's certified lower end; Upper is the certified top, nil
+// while no upper certificate exists yet (JSON cannot encode +Inf).
+// Within one stream, lower ends only rise and upper ends only fall; the
+// event named "final" carries Final=true and is the last one.
+type StreamEvent struct {
+	Stage      string   `json:"stage"`
+	DensityNum int64    `json:"density_num"`
+	DensityDen int64    `json:"density_den"`
+	Density    float64  `json:"density"`
+	Upper      *float64 `json:"upper,omitempty"`
+	Witness    []int32  `json:"witness,omitempty"`
+	Size       int      `json:"size"`
+	ElapsedMs  float64  `json:"elapsed_ms"`
+	Final      bool     `json:"final,omitempty"`
+	// Degraded mirrors Result.Degraded on a final event: the stream
+	// stopped at a deadline or gap budget with the interval still open.
+	Degraded bool `json:"degraded,omitempty"`
+	// Cached marks a final served from the result cache (or a
+	// single-flight join): no computation ran for this stream.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// FromAnswer converts a streamed answer into its wire event.
+func FromAnswer(a dsd.Answer, cached bool) StreamEvent {
+	ev := StreamEvent{
+		Stage:      string(a.Stage),
+		DensityNum: a.Density.Num,
+		DensityDen: a.Density.Den,
+		Density:    a.Density.Float(),
+		Witness:    a.Witness,
+		Size:       len(a.Witness),
+		ElapsedMs:  float64(a.Elapsed) / float64(time.Millisecond),
+		Final:      a.Final,
+		Degraded:   a.Degraded,
+		Cached:     cached,
+	}
+	if !math.IsInf(a.Bound, 1) {
+		u := a.Bound
+		ev.Upper = &u
+	}
+	return ev
 }
 
 // Query is the wire form of dsd.Query, serialized verbatim: the motif
@@ -393,6 +440,13 @@ type StatsResponse struct {
 	// with the coordinator's live health view (in-flight component count,
 	// exponentially-weighted remote latency).
 	ShardWorkers []ShardWorkerStats `json:"shard_workers,omitempty"`
+	// Streams counts anytime streaming queries (POST /v1/stream and
+	// Engine.Stream).
+	Streams int64 `json:"streams,omitempty"`
+	// RetryAfterSeconds is the engine's current shed back-off advice —
+	// the value a 503's Retry-After header would carry right now. Clients
+	// can poll it to pace themselves before shedding starts.
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
 }
 
 // ShardWorkerStats is the coordinator's per-worker health and accounting

@@ -14,6 +14,7 @@ import (
 
 	dsd "repro"
 	"repro/internal/obs"
+	planner "repro/internal/plan"
 	"repro/internal/rational"
 	"repro/internal/resilience"
 	"repro/internal/service/wire"
@@ -304,6 +305,23 @@ func (st *shardStats) addSearch(flow, pre int, skip bool, flowT, preT time.Durat
 // merged witness is re-certified against the local graph, and every
 // bound that crosses the wire is the exact density of a real subgraph.
 func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) (*dsd.Result, error) {
+	return c.solve(ctx, graphName, q, nil)
+}
+
+// SolveObserved is Solve as a refinement stream: sink receives a
+// certified Answer when the location phase installs its interval
+// (StagePlan), whenever a shard's merged bound report tightens it
+// (StageShard — the coordinator's cell rebroadcasts, surfaced as
+// events), and finally the terminal answer (StageFinal). The returned
+// result is bit-identical to Solve's — observation only reads the
+// merge cell, it never feeds it. sink may be called from merge-cell
+// notification goroutines until shortly after SolveObserved returns;
+// callers needing a hard cutoff must guard their sink.
+func (c *Coordinator) SolveObserved(ctx context.Context, graphName string, q dsd.Query, sink func(dsd.Answer)) (*dsd.Result, error) {
+	return c.solve(ctx, graphName, q, planner.NewEmitter(sink))
+}
+
+func (c *Coordinator) solve(ctx context.Context, graphName string, q dsd.Query, em *planner.Emitter) (*dsd.Result, error) {
 	start := time.Now()
 	solver, ok := c.src.SolverFor(graphName)
 	if !ok {
@@ -356,11 +374,27 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 	}
 	st := &shardStats{}
 	if plan.Empty {
-		return attachTrace(c.finish(solver, nq, nil, plan, st, start))
+		res, err := c.finish(solver, nq, nil, plan, st, start)
+		if err == nil && em != nil {
+			em.Final(res)
+		}
+		return attachTrace(res, err)
 	}
 
 	addrs := c.shardsFor(nq)
 	cell := newMergeCell(ratio(plan.LowerNum, plan.LowerDen), plan.Witness)
+	if em != nil {
+		// The plan's certified interval is the stream's first event; from
+		// here every merged bound report — local search or remote shard —
+		// surfaces as a StageShard tightening via the cell's rebroadcast
+		// fan-out (the same mechanism that re-arms sibling searches).
+		em.Install(ratio(plan.LowerNum, plan.LowerDen), plan.Witness, plan.Uppers, planner.StagePlan)
+		obsSub := cell.subscribe(func(rational.R) {
+			d, w := cell.snapshot()
+			em.Improve(d, w, planner.StageShard)
+		})
+		defer cell.unsubscribe(obsSub)
+	}
 	// Workers answer one component at a time; the shard knobs, the
 	// in-process Workers pool and the degradation budget are the
 	// coordinator's concern, so the shipped query carries none of them —
@@ -412,7 +446,7 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 					// its lane keeps draining components locally.
 					useAddr = ""
 				}
-				failed, err := c.runComponent(dctx, solver, graphName, wireQ, nq, plan, i, runID, useAddr, cell, st, uppers)
+				failed, err := c.runComponent(dctx, solver, graphName, wireQ, nq, plan, i, runID, useAddr, cell, st, uppers, em)
 				errs[i] = err
 				if failed {
 					remoteFails++
@@ -455,6 +489,9 @@ func (c *Coordinator) Solve(ctx context.Context, graphName string, q dsd.Query) 
 			res.Degraded = true
 			res.Bound = dsd.Bound{Lower: res.Density, Upper: upper}
 		}
+	}
+	if em != nil {
+		em.Final(res)
 	}
 	return attachTrace(res, nil)
 }
@@ -506,7 +543,7 @@ type answer struct {
 // succeeded.
 func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, graphName string,
 	wireQ wire.Query, nq dsd.Query, plan *dsd.ComponentPlan, i int, runID, addr string,
-	cell *mergeCell, st *shardStats, uppers []float64) (bool, error) {
+	cell *mergeCell, st *shardStats, uppers []float64, em *planner.Emitter) (bool, error) {
 	comp := plan.Components[i]
 	// Breaker gate before anything is spent on the worker: an open
 	// breaker means its recent failures already burned real time, so the
@@ -566,6 +603,12 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 	settle := func(a answer) {
 		if a.upper > 0 {
 			uppers[i] = a.upper
+			if em != nil {
+				// The emitter holds its own per-component array (installed
+				// from the plan), so observing the settle is race-free even
+				// though uppers[i] itself is lane-local until wg.Wait.
+				em.TightenComp(i, a.upper, planner.StageShard)
+			}
 		}
 	}
 

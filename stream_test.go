@@ -1,0 +1,285 @@
+package dsd_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	dsd "repro"
+)
+
+// collect drains a stream into a slice, failing the test on a terminal
+// Err event.
+func collect(t *testing.T, ch <-chan dsd.Answer) []dsd.Answer {
+	t.Helper()
+	var got []dsd.Answer
+	for a := range ch {
+		if a.Err != nil {
+			t.Fatalf("stream error event: %v", a.Err)
+		}
+		got = append(got, a)
+	}
+	return got
+}
+
+// checkMonotone asserts the stream-level contract over a collected
+// sequence: certified events only (each witness's exact density is the
+// lower end), lower ends never fall, upper ends never rise, every event
+// strictly tightens one of them, and the last — and only the last — is
+// Final.
+func checkMonotone(t *testing.T, s *dsd.Solver, q dsd.Query, got []dsd.Answer) {
+	t.Helper()
+	if len(got) == 0 {
+		t.Fatal("stream delivered no answers")
+	}
+	for i, a := range got {
+		if a.Final != (i == len(got)-1) {
+			t.Fatalf("event %d/%d: Final=%v", i, len(got), a.Final)
+		}
+		if len(a.Witness) > 0 {
+			ev, err := s.EvaluateWitness(q, a.Witness)
+			if err != nil {
+				t.Fatalf("event %d: witness evaluation: %v", i, err)
+			}
+			if ev.Density.Cmp(a.Density) != 0 {
+				t.Fatalf("event %d: claimed density %v but witness has %v", i, a.Density, ev.Density)
+			}
+		} else if !a.Density.IsZero() {
+			t.Fatalf("event %d: density %v with no witness", i, a.Density)
+		}
+		// The upper end is a float; allow it to sit within rounding of the
+		// rational lower end, never meaningfully below it.
+		if !math.IsInf(a.Bound, 1) && a.Density.Float() > a.Bound*(1+1e-9)+1e-12 {
+			t.Fatalf("event %d: lower %v above upper %v", i, a.Density.Float(), a.Bound)
+		}
+		if i == 0 {
+			continue
+		}
+		p := got[i-1]
+		dc := a.Density.Cmp(p.Density)
+		if dc < 0 {
+			t.Fatalf("event %d: lower end fell %v -> %v", i, p.Density, a.Density)
+		}
+		if a.Bound > p.Bound {
+			t.Fatalf("event %d: upper end rose %v -> %v", i, p.Bound, a.Bound)
+		}
+		if !a.Final && dc == 0 && a.Bound == p.Bound {
+			t.Fatalf("event %d (%s): no strict tightening", i, a.Stage)
+		}
+	}
+}
+
+// TestStreamEquivalence: the stream's final answer must be bit-identical
+// to Solve's on the same query, cold and warm, serial and parallel, with
+// every intermediate certified and monotone.
+func TestStreamEquivalence(t *testing.T) {
+	graphs := []*dsd.Graph{
+		dsd.GenerateMultiCommunity(8, 25, 10, 15, 18, 1),
+		dsd.GenerateGNM(60, 250, 7),
+		dsd.GenerateSSCA(70, 8, 3),
+	}
+	for gi, g := range graphs {
+		for _, workers := range []int{1, 4} {
+			q := dsd.Query{H: 3, Workers: workers}
+			ref, err := dsd.NewSolver(g).Solve(context.Background(), q)
+			if err != nil {
+				t.Fatalf("graph %d: solve: %v", gi, err)
+			}
+			s := dsd.NewSolver(g)
+			for _, phase := range []string{"cold", "warm"} {
+				ch, err := s.Stream(context.Background(), q)
+				if err != nil {
+					t.Fatalf("graph %d %s: stream: %v", gi, phase, err)
+				}
+				got := collect(t, ch)
+				checkMonotone(t, s, q, got)
+				fin := got[len(got)-1]
+				if fin.Density.Cmp(ref.Density) != 0 {
+					t.Fatalf("graph %d %s workers=%d: stream density %v != solve %v",
+						gi, phase, workers, fin.Density, ref.Density)
+				}
+				if fin.Degraded {
+					t.Fatalf("graph %d %s: unbudgeted stream degraded", gi, phase)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamFuncSeesEveryEvent runs the synchronous primitive (no
+// conflation) and asserts the full, unconflated sequence obeys the
+// monotone contract and that the first certified answer precedes the
+// final one.
+func TestStreamFuncSeesEveryEvent(t *testing.T) {
+	g := dsd.GenerateMultiCommunity(8, 25, 10, 15, 18, 1)
+	s := dsd.NewSolver(g)
+	q := dsd.Query{H: 3}
+	var got []dsd.Answer
+	res, err := s.StreamFunc(context.Background(), q, func(a dsd.Answer) { got = append(got, a) })
+	if err != nil {
+		t.Fatalf("streamfunc: %v", err)
+	}
+	checkMonotone(t, s, q, got)
+	if len(got) < 2 {
+		t.Fatalf("expected intermediate answers before the final one, got %d events", len(got))
+	}
+	fin := got[len(got)-1]
+	if fin.Density.Cmp(res.Density) != 0 {
+		t.Fatalf("final event density %v != returned result %v", fin.Density, res.Density)
+	}
+}
+
+// TestStreamDeadline: a deadline-budgeted stream must end in a Final
+// answer whose certified interval contains the exact density, Degraded
+// or not.
+func TestStreamDeadline(t *testing.T) {
+	g := dsd.GenerateMultiCommunity(8, 25, 10, 15, 18, 1)
+	exact, err := dsd.NewSolver(g).Solve(context.Background(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dsd.NewSolver(g)
+	q := dsd.Query{H: 3, Deadline: time.Nanosecond}
+	ch, err := s.Stream(context.Background(), q)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	// A 1ns deadline may die mid-plan (error event) or degrade; both are
+	// the Solve contract. Only a Final answer makes interval claims.
+	var fin *dsd.Answer
+	for a := range ch {
+		if a.Err != nil {
+			return
+		}
+		if a.Final {
+			a := a
+			fin = &a
+		}
+	}
+	if fin == nil {
+		t.Fatal("stream closed without final or error event")
+	}
+	if fin.Degraded {
+		if fin.Density.Greater(exact.Density) {
+			t.Fatalf("degraded lower %v above exact %v", fin.Density, exact.Density)
+		}
+		if exact.Density.CmpFloat(fin.Bound) > 0 {
+			t.Fatalf("degraded upper %v below exact %v", fin.Bound, exact.Density)
+		}
+	} else if fin.Density.Cmp(exact.Density) != 0 {
+		t.Fatalf("undegraded final %v != exact %v", fin.Density, exact.Density)
+	}
+}
+
+// TestStreamGap: an accuracy-budgeted stream's final interval must be
+// within the requested relative gap and contain the exact density.
+func TestStreamGap(t *testing.T) {
+	g := dsd.GenerateMultiCommunity(8, 25, 10, 15, 18, 1)
+	exact, err := dsd.NewSolver(g).Solve(context.Background(), dsd.Query{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dsd.NewSolver(g)
+	q := dsd.Query{H: 3, Gap: 0.5}
+	ch, err := s.Stream(context.Background(), q)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	got := collect(t, ch)
+	checkMonotone(t, s, q, got)
+	fin := got[len(got)-1]
+	if fin.Density.Greater(exact.Density) {
+		t.Fatalf("gap lower %v above exact %v", fin.Density, exact.Density)
+	}
+	if fin.Degraded {
+		if exact.Density.CmpFloat(fin.Bound) > 0 {
+			t.Fatalf("gap upper %v below exact %v", fin.Bound, exact.Density)
+		}
+		if fin.Bound > fin.Density.Float()*1.5*(1+1e-9) {
+			t.Fatalf("gap interval [%v, %v] wider than the 0.5 budget", fin.Density.Float(), fin.Bound)
+		}
+	}
+}
+
+// TestStreamCancel: cancelling mid-refinement must terminate the stream
+// with an Err event and close the channel.
+func TestStreamCancel(t *testing.T) {
+	g := dsd.GenerateMultiCommunity(8, 25, 10, 15, 18, 1)
+	s := dsd.NewSolver(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ch, err := s.Stream(ctx, dsd.Query{H: 3})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	sawErr := false
+	for a := range ch {
+		if a.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("cancelled stream ended without an Err event")
+	}
+}
+
+// TestStreamRejectsNonCoreExact: streaming is defined for the exact
+// ladder only; other algos are synchronous errors.
+func TestStreamRejectsNonCoreExact(t *testing.T) {
+	s := dsd.NewSolver(dsd.GenerateGNM(20, 40, 1))
+	if _, err := s.Stream(context.Background(), dsd.Query{H: 3, Algo: dsd.AlgoPeel}); err == nil {
+		t.Fatal("expected error for Algo=peel stream")
+	}
+	if _, err := s.StreamFunc(context.Background(), dsd.Query{H: 3, Algo: dsd.AlgoPeel}, nil); err == nil {
+		t.Fatal("expected error for Algo=peel streamfunc")
+	}
+}
+
+// TestStreamConcurrentWithSolve exercises the memo state under the race
+// detector: streams and solves of the same query share one Solver.
+func TestStreamConcurrentWithSolve(t *testing.T) {
+	g := dsd.GenerateMultiCommunity(6, 20, 8, 12, 14, 1)
+	s := dsd.NewSolver(g)
+	q := dsd.Query{H: 3, Workers: 2}
+	ref, err := s.Solve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(streaming bool) {
+			defer wg.Done()
+			if streaming {
+				ch, err := s.Stream(context.Background(), q)
+				if err != nil {
+					t.Errorf("stream: %v", err)
+					return
+				}
+				var last dsd.Answer
+				for a := range ch {
+					if a.Err != nil {
+						t.Errorf("stream error: %v", a.Err)
+						return
+					}
+					last = a
+				}
+				if !last.Final || last.Density.Cmp(ref.Density) != 0 {
+					t.Errorf("concurrent stream final %v != %v", last.Density, ref.Density)
+				}
+			} else {
+				res, err := s.Solve(context.Background(), q)
+				if err != nil {
+					t.Errorf("solve: %v", err)
+					return
+				}
+				if res.Density.Cmp(ref.Density) != 0 {
+					t.Errorf("concurrent solve %v != %v", res.Density, ref.Density)
+				}
+			}
+		}(i%2 == 0)
+	}
+	wg.Wait()
+}
