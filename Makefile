@@ -3,8 +3,8 @@
 # before pushing and the gates cannot surprise you.
 
 GO ?= go
-BENCH_OUT ?= BENCH_9.json
-BENCH_PREV ?= BENCH_8.json
+BENCH_OUT ?= BENCH_10.json
+BENCH_PREV ?= BENCH_9.json
 
 .PHONY: check fmt vet build test race bench bench-compare api e2e-shard obs chaos lint clean
 
@@ -54,12 +54,14 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestEngineAdmission|TestHTTPShed|TestUnboundedQueue' ./internal/service
 
 # The observability smoke: the tracing/metrics/logging tests across the
-# obs core, the engine, the shards, and the CLIs, under -race, plus a
+# obs core, the engine, the shards, and the CLIs, under -race — including
+# the wide-event query log suites and the /v1/querylog e2e — plus a
 # traced perf-suite dump to prove the trace artifact still encodes.
 obs:
 	$(GO) test -race -count=1 ./internal/obs
-	$(GO) test -race -count=1 -run 'TestMetrics|TestQueryTrace|TestSlowQuery|TestStatsAwait|TestStitchedTrace|TestObservabilityFlags' \
+	$(GO) test -race -count=1 -run 'TestMetrics|TestQueryTrace|TestSlowQuery|TestStatsAwait|TestStitchedTrace|TestObservabilityFlags|TestQueryLog|TestHTTPQueryLog' \
 		./internal/service ./internal/shard ./cmd/dsdd
+	$(GO) test -race -count=1 -run 'TestValidateQueryLog' ./internal/expt
 	$(GO) run ./cmd/dsdbench -run perfsuite -quick -div 8 -trace-out /tmp/dsd-trace-smoke.json
 
 # Static analysis beyond vet, exactly as CI's lint job runs it. The

@@ -7,7 +7,7 @@
 //
 //	dsd -graph g.txt [-motif triangle] [-algo core-exact] [-workers 4]
 //	    [-iterative 16] [-anchors 1,2] [-at-least 5] [-eps 0.25]
-//	    [-deadline 500ms] [-gap 0.05] [-stream]
+//	    [-deadline 500ms] [-gap 0.05] [-stream] [-mem]
 //	    [-mutate batch.txt] [-print] [-json] [-log-level info]
 //	    [-log-format text]
 //
@@ -48,6 +48,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -75,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		printVerts = fs.Bool("print", false, "print the vertex set of the answer")
 		asJSON     = fs.Bool("json", false, "emit the result as JSON in the dsdd v2 API encoding")
 		stream     = fs.Bool("stream", false, "print every certified refinement answer while solving (implies -algo core-exact)")
+		memStats   = fs.Bool("mem", false, "report each solve's heap allocation (bytes and objects) with the result")
 		logLevel   = fs.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logFormat  = fs.String("log-format", "text", "log encoding (text|json)")
 	)
@@ -136,18 +138,18 @@ func run(args []string, out io.Writer) error {
 	}
 	var res *dsd.Result
 	var solver *dsd.Solver
-	if sharded {
-		// Shards < 0 is the documented force-local opt-out; it wins even
-		// when worker addresses are listed.
-		res, err = solveSharded(context.Background(), *graphPath, g, q, sink)
-	} else {
+	res, err = withAllocStats(*memStats, func() (*dsd.Result, error) {
+		if sharded {
+			// Shards < 0 is the documented force-local opt-out; it wins even
+			// when worker addresses are listed.
+			return solveSharded(context.Background(), *graphPath, g, q, sink)
+		}
 		solver = dsd.NewSolver(g)
 		if sink != nil {
-			res, err = solver.StreamFunc(context.Background(), q, sink)
-		} else {
-			res, err = solver.Solve(context.Background(), q)
+			return solver.StreamFunc(context.Background(), q, sink)
 		}
-	}
+		return solver.Solve(context.Background(), q)
+	})
 	if err != nil {
 		return err
 	}
@@ -187,11 +189,36 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "mutation: +%d -%d edges (skipped %d inserts, %d deletes) -> version %d  n=%d m=%d\n",
 			d.Inserted, d.Deleted, d.SkippedInserts, d.SkippedDeletes, d.Version, d.N, d.M)
 	}
-	res, err = solver.Solve(context.Background(), q)
+	res, err = withAllocStats(*memStats, func() (*dsd.Result, error) {
+		return solver.Solve(context.Background(), q)
+	})
 	if err != nil {
 		return err
 	}
 	return emit(out, *graphPath, solver.Graph(), q, res, *asJSON, *printVerts)
+}
+
+// withAllocStats runs one solve and, when enabled, fills the result's
+// AllocBytes/Allocs from runtime.MemStats deltas around the run — the
+// CLI analogue of the per-query attribution the dsdd engine records.
+// ReadMemStats stops the world, which does not matter for a one-shot
+// CLI and, unlike the span sampler's epoch-granular heap counters, is
+// exact even for solves too small to cross an allocation epoch. The
+// counters are process-wide, so anything else allocating in this
+// process (the stream printer, the sharding client) is included.
+func withAllocStats(enabled bool, solve func() (*dsd.Result, error)) (*dsd.Result, error) {
+	if !enabled {
+		return solve()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := solve()
+	if res != nil && err == nil {
+		runtime.ReadMemStats(&after)
+		res.Stats.AllocBytes = int64(after.TotalAlloc - before.TotalAlloc)
+		res.Stats.Allocs = int64(after.Mallocs - before.Mallocs)
+	}
+	return res, err
 }
 
 // printEvent prints one certified refinement answer of a -stream run: a
@@ -228,6 +255,10 @@ func emit(out io.Writer, graphName string, g *dsd.Graph, q dsd.Query, res *dsd.R
 	fmt.Fprintf(out, "motif: %s  algorithm: %s\n", q.Psi(), q.Algo)
 	fmt.Fprintf(out, "densest subgraph: |V|=%d  µ=%d  ρ=%.6f  time=%s\n",
 		len(res.Vertices), res.Mu, res.Density.Float(), res.Stats.Total)
+	if res.Stats.AllocBytes > 0 {
+		fmt.Fprintf(out, "allocated: %.2f MiB in %d objects\n",
+			float64(res.Stats.AllocBytes)/(1<<20), res.Stats.Allocs)
+	}
 	if res.Degraded {
 		fmt.Fprintf(out, "degraded: optimum in [%.6f, %.6f] (budget exhausted before exactness)\n",
 			res.Bound.Lower.Float(), res.Bound.Upper)

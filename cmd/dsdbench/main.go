@@ -12,6 +12,7 @@
 //	dsdbench -validate BENCH_3.json
 //	dsdbench -compare BENCH_2.json BENCH_3.json
 //	dsdbench -validate-metrics metrics.txt
+//	dsdbench -validate-querylog querylog.json
 //
 // With -json (perfsuite only) the suite is emitted as a dsd-bench/v1
 // JSON report instead of a table; -validate checks an existing report
@@ -45,18 +46,19 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dsdbench", flag.ContinueOnError)
 	var (
-		runID      = fs.String("run", "", "experiment id, or \"all\"")
-		list       = fs.Bool("list", false, "list experiments")
-		div        = fs.Int("div", 1, "extra dataset downscale divisor")
-		maxh       = fs.Int("maxh", 6, "largest clique size to sweep")
-		quick      = fs.Bool("quick", false, "smoke-test sizes")
-		ibudget    = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
-		asJSON     = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
-		outPath    = fs.String("out", "", "write the -json report to this file instead of stdout")
-		validate   = fs.String("validate", "", "validate a BENCH_*.json report and exit")
-		compare    = fs.Bool("compare", false, "diff two BENCH_*.json reports (args: OLD NEW) and exit")
-		traceOut   = fs.String("trace-out", "", "run the perf suite's core-exact cases under a live tracer and dump the per-case phase breakdowns as JSON to this file (perfsuite only)")
-		valMetrics = fs.String("validate-metrics", "", "validate a Prometheus text exposition file (e.g. a /metrics scrape) and exit")
+		runID       = fs.String("run", "", "experiment id, or \"all\"")
+		list        = fs.Bool("list", false, "list experiments")
+		div         = fs.Int("div", 1, "extra dataset downscale divisor")
+		maxh        = fs.Int("maxh", 6, "largest clique size to sweep")
+		quick       = fs.Bool("quick", false, "smoke-test sizes")
+		ibudget     = fs.Int64("ibudget", 0, "override the instance budget (0 = default)")
+		asJSON      = fs.Bool("json", false, "emit the perf suite as a dsd-bench JSON report (perfsuite only)")
+		outPath     = fs.String("out", "", "write the -json report to this file instead of stdout")
+		validate    = fs.String("validate", "", "validate a BENCH_*.json report and exit")
+		compare     = fs.Bool("compare", false, "diff two BENCH_*.json reports (args: OLD NEW) and exit")
+		traceOut    = fs.String("trace-out", "", "run the perf suite's core-exact cases under a live tracer and dump the per-case phase breakdowns as JSON to this file (perfsuite only)")
+		valMetrics  = fs.String("validate-metrics", "", "validate a Prometheus text exposition file (e.g. a /metrics scrape) and exit")
+		valQuerylog = fs.String("validate-querylog", "", "validate a GET /v1/querylog response file (wide-event query log) and exit")
 	)
 	// The suite's arm knobs go through the shared Query builder so their
 	// semantics (-1 = GOMAXPROCS workers) match the other CLIs.
@@ -86,6 +88,18 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", *valMetrics, err)
 		}
 		fmt.Fprintf(out, "%s: valid Prometheus text exposition\n", *valMetrics)
+		return nil
+	}
+
+	if *valQuerylog != "" {
+		data, err := os.ReadFile(*valQuerylog)
+		if err != nil {
+			return err
+		}
+		if err := expt.ValidateQueryLog(data); err != nil {
+			return fmt.Errorf("%s: %w", *valQuerylog, err)
+		}
+		fmt.Fprintf(out, "%s: valid query-log response\n", *valQuerylog)
 		return nil
 	}
 

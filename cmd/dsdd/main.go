@@ -14,23 +14,31 @@
 //	     [-shard-of http://coordinator:8080]
 //	     [-advertise http://host:port]
 //	     [-log-level info] [-log-format text] [-slow-query 0]
+//	     [-querylog 512] [-querylog-sample 8]
 //	     [-trace=true] [-pprof]
 //
 // API: POST /v2/query (any dsd.Query), POST /v1/query (legacy triple),
 // GET/POST /v1/graphs, GET/DELETE /v1/graphs/{g} (per-graph detail /
 // eviction), POST /v1/graphs/{g}/edges (edge-mutation batches producing
 // new graph versions; -retain bounds how many stay addressable),
-// GET /v1/stats, GET /metrics (Prometheus text exposition),
-// GET /healthz, plus the wire v3 sharding protocol (POST /v3/component,
-// POST /v3/bound, GET/POST /v3/shards).
+// GET /v1/stats, GET /v1/querylog (the wide-event query log),
+// GET /metrics (Prometheus text exposition), GET /healthz, plus the
+// wire v3 sharding protocol (POST /v3/component, POST /v3/bound,
+// GET/POST /v3/shards).
 //
 // Observability: every computed query runs under a phase-level trace
 // that returns in the response's stats (disable with -trace=false);
 // -slow-query DURATION logs any computation at or over the threshold
 // with its full phase breakdown; -pprof mounts net/http/pprof under
-// /debug/pprof/. Logs go to stderr through log/slog — -log-level picks
-// the floor (debug|info|warn|error) and -log-format text|json the
-// encoding (text keeps the historical human-readable lines).
+// /debug/pprof/. Every request additionally leaves one wide query event
+// — outcome, phase costs, allocation, queue wait, shard breakdown — in
+// a bounded in-memory ring served at GET /v1/querylog; anomalous events
+// (slow, degraded, shed, errored) are always retained, routine
+// successes one-in-N (-querylog sizes the ring, -querylog-sample sets
+// N, -querylog -1 disables). Logs go to stderr through log/slog —
+// -log-level picks the floor (debug|info|warn|error) and -log-format
+// text|json the encoding (text keeps the historical human-readable
+// lines).
 //
 // Distributed sharding: `-shards` seeds the coordinator's worker set
 // (workers may also self-register via POST /v3/shards); while the set is
@@ -173,6 +181,8 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 		logFormat    = fs.String("log-format", "text", "log encoding (text|json)")
 		retain       = fs.Int("retain", 0, "graph versions each mutable graph keeps addressable for pinned queries (0 = library default)")
 		slowQuery    = fs.Duration("slow-query", 0, "log any computation taking at least this long, with its phase breakdown (0 = off)")
+		queryLog     = fs.Int("querylog", 0, "wide-event query log capacity served at GET /v1/querylog (0 = default 512, negative = disabled)")
+		queryLogSamp = fs.Int("querylog-sample", 0, "keep one in N routine successes in the query log; anomalies are always kept (0 = default 8, 1 = all)")
 		trace        = fs.Bool("trace", true, "attach a phase-level trace to every computed query's stats")
 		pprofFlag    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		graphs       graphSpecs
@@ -223,6 +233,8 @@ func newServer(args []string) (*service.Server, serverOpts, error) {
 		ShardBoundTimeout: *shardBoundTO,
 		Logger:            logger,
 		SlowQuery:         *slowQuery,
+		QueryLog:          *queryLog,
+		QueryLogSample:    *queryLogSamp,
 		NoTrace:           !*trace,
 	})
 	if *allowPaths {

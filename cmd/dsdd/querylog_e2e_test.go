@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/service/client"
+	"repro/internal/service/wire"
+)
+
+// TestQueryLogE2E drives a dsdd server through the three anomalous
+// outcomes the wide-event query log exists for — a slow computation, a
+// deadline-degraded answer, and an admission shed — then scrapes
+// GET /v1/querylog and proves each left one well-formed wide event
+// whose density is bit-identical to the answer the API returned.
+func TestQueryLogE2E(t *testing.T) {
+	// The multi-community stress instance: an exact triangle solve takes
+	// long enough (~10^8 ns) that a 1ms deadline degrades and a queued
+	// pile-up sheds.
+	g := gen.MultiCommunity(10, 30, 12, 18, 20, 1)
+	var edges bytes.Buffer
+	g.Edges(func(u, v int) { fmt.Fprintf(&edges, "%d %d\n", u, v) })
+	path := filepath.Join(t.TempDir(), "multi.txt")
+	if err := os.WriteFile(path, edges.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _, err := newServer([]string{
+		"-workers", "1", "-queue", "1", // admission capacity 2: 1 running + 1 queued
+		"-slow-query", "1ns", // every computation is "slow"
+		"-querylog-sample", "1", // keep every event: deterministic assertions
+		"-graph", "multi=" + path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// 1. The slow query: a plain computed solve over the threshold.
+	slowResp, err := c.QueryV2(ctx, wire.QueryV2Request{
+		Graph: "multi", Query: wire.Query{Pattern: "triangle", Algo: "core-exact"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. The degraded query: a deadline far under the exact solve. The
+	// tightest budget can error (nothing certified yet), so probe upward.
+	var degResp *wire.QueryV2Response
+	for _, ms := range []int64{1, 2, 5, 10, 20} {
+		r, err := c.QueryV2(ctx, wire.QueryV2Request{
+			Graph: "multi",
+			Query: wire.Query{Pattern: "triangle", Algo: "core-exact", DeadlineMs: ms},
+		})
+		if err == nil && r.Result.Degraded {
+			degResp = r
+			break
+		}
+	}
+	if degResp == nil {
+		t.Fatal("no probed deadline produced a degraded answer")
+	}
+
+	// 3. The shed query: a simultaneous burst of distinct heavy
+	// computations against admission capacity 2 (1 running + 1 queued).
+	// Six arrivals in the same instant cannot all be admitted while each
+	// computation holds its slot for tens of milliseconds, so at least
+	// one is shed with 503. Distinct worker counts make distinct
+	// canonical keys over the same heavy computation; the outer retry
+	// guards the pathological schedule where the burst serialises.
+	post := func(workers int) int {
+		body := fmt.Sprintf(`{"graph":"multi","query":{"pattern":"triangle","algo":"core-exact","workers":%d}}`, workers)
+		resp, err := http.Post(ts.URL+"/v2/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	shed := false
+	next := 2 // workers=1 would collide with the slow query's canonical key
+	for round := 0; round < 20 && !shed; round++ {
+		const burst = 6
+		codes := make(chan int, burst)
+		for i := 0; i < burst; i++ {
+			go func(w int) { codes <- post(w) }(next)
+			next++
+		}
+		for i := 0; i < burst; i++ {
+			switch code := <-codes; code {
+			case http.StatusOK:
+			case http.StatusServiceUnavailable:
+				shed = true
+			default:
+				t.Fatalf("burst probe answered %d, want 200 or 503", code)
+			}
+		}
+	}
+	if !shed {
+		t.Fatal("no burst probe was shed while the admission queue was full")
+	}
+
+	// Scrape the query log: the raw body must pass the CI validator, and
+	// each outcome above must have left its wide event.
+	resp, err := http.Get(ts.URL + "/v1/querylog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/querylog status = %d", resp.StatusCode)
+	}
+	if err := expt.ValidateQueryLog(body); err != nil {
+		t.Fatalf("query log scrape invalid: %v\n%s", err, body)
+	}
+	var qlog wire.QueryLogResponse
+	if err := json.Unmarshal(body, &qlog); err != nil {
+		t.Fatal(err)
+	}
+
+	density := func(num, den int64) float64 { return float64(num) / float64(den) }
+	var sawSlow, sawDegraded, sawShed bool
+	for _, ev := range qlog.Events {
+		switch {
+		case ev.Slow && !ev.Degraded && ev.Outcome == "ok" && !sawSlow:
+			sawSlow = true
+			if want := density(slowResp.Result.DensityNum, slowResp.Result.DensityDen); ev.Density != want {
+				t.Errorf("slow event density = %v, want bit-identical %v", ev.Density, want)
+			}
+			if ev.TraceID == "" || len(ev.Phases) == 0 {
+				t.Errorf("slow event carries no phase attribution: %+v", ev)
+			}
+			if ev.AllocBytes <= 0 {
+				t.Errorf("slow event alloc_bytes = %d, want > 0", ev.AllocBytes)
+			}
+		case ev.Degraded && ev.Outcome == "ok" && !sawDegraded:
+			sawDegraded = true
+			if want := density(degResp.Result.DensityNum, degResp.Result.DensityDen); ev.Density != want {
+				t.Errorf("degraded event density = %v, want bit-identical %v", ev.Density, want)
+			}
+		case ev.Outcome == "shed" && !sawShed:
+			sawShed = true
+			if !ev.Shed || ev.Error == "" || ev.QueryKey == "" {
+				t.Errorf("shed event malformed: %+v", ev)
+			}
+		}
+	}
+	if !sawSlow || !sawDegraded || !sawShed {
+		t.Fatalf("query log missing outcomes: slow=%v degraded=%v shed=%v (%d events)",
+			sawSlow, sawDegraded, sawShed, len(qlog.Events))
+	}
+}

@@ -96,6 +96,14 @@ type Stats struct {
 	// attribution ("where the work went"), the paper's flow-vs-peel split.
 	FlowTime     time.Duration
 	PreSolveTime time.Duration
+	// AllocBytes/Allocs are the heap allocation attributed to the run:
+	// the allocation-counter delta over the root span's window. Non-zero
+	// only on traced runs — the tracer's memory sampling is what
+	// measures them — and process-wide, so concurrent queries inflate
+	// each other's deltas (the per-phase trace says where the bytes
+	// went).
+	AllocBytes int64
+	Allocs     int64
 	// Trace is the phase-level span tree of the run, non-nil only when
 	// the caller's context carried an obs.Tracer (see obs.WithSpan).
 	Trace *obs.Trace

@@ -144,6 +144,17 @@ type BenchCase struct {
 	// the traced run returned exactly the serial density.
 	ObsNsOp  int64 `json:"obs_ns_op,omitempty"`
 	ObsMatch *bool `json:"obs_match,omitempty"`
+	// The memory arm: one extra run of the iterative configuration
+	// measured for resource footprint. AllocBytesOp/AllocsOp are the
+	// run's heap allocation (runtime.MemStats deltas after a GC —
+	// deterministic for a fixed workload); PeakRSSBytes the kernel's
+	// VmHWM peak resident set over the run, reset per case where
+	// /proc/self/clear_refs permits. The validator requires both on the
+	// core-exact cases, and the comparator fails an allocation
+	// regression beyond 1.5× against the previous trajectory point.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	AllocBytesOp int64 `json:"alloc_bytes_op,omitempty"`
+	AllocsOp     int64 `json:"allocs_op,omitempty"`
 	// Density is the result density (omitted for decomposition cases).
 	Density float64 `json:"density,omitempty"`
 	// DensityMatch reports that the parallel arm returned exactly the
@@ -413,6 +424,10 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 		iterMatch := serialRes.Density.Cmp(iterRes.Density) == 0
 		obsMatch := obsRes != nil && serialRes.Density.Cmp(obsRes.Density) == 0
 
+		// The memory arm: the iterative configuration once more, measured
+		// for heap allocation and peak RSS instead of wall clock.
+		peakRSS, allocBytes, allocs := measureMem(func() { core.CoreExactOpts(g, h, iopts) })
+
 		// Warm-solver arm: the same Ψ through one dsd.Solver, default
 		// engine configuration (pre-solver on).
 		cold, warm, coldRes, warmRes := warmSolverArm(g, h, iterBudget, reps)
@@ -441,6 +456,9 @@ func PerfSuiteReport(cfg Config) (*BenchReport, error) {
 			IterativeSpeedup:    float64(serial) / float64(iter),
 			ObsNsOp:             obsNs,
 			ObsMatch:            &obsMatch,
+			PeakRSSBytes:        peakRSS,
+			AllocBytesOp:        allocBytes,
+			AllocsOp:            allocs,
 			ColdNsOp:            cold,
 			WarmNsOp:            warm,
 			WarmSpeedup:         float64(cold) / float64(warm),
@@ -832,6 +850,19 @@ func ValidateBenchReport(data []byte) error {
 				return fmt.Errorf("bench report: case %q: traced density does not match serial", c.Name)
 			}
 		}
+		if c.PeakRSSBytes < 0 || c.AllocBytesOp < 0 || c.AllocsOp < 0 {
+			return fmt.Errorf("bench report: case %q: negative memory measurement", c.Name)
+		}
+		// The memory gate: every engine-comparison core-exact case must
+		// carry its footprint so the trajectory can gate regressions.
+		if strings.HasPrefix(c.Name, "coreexact-") {
+			if c.AllocBytesOp <= 0 || c.AllocsOp <= 0 {
+				return fmt.Errorf("bench report: case %q: missing alloc_bytes_op/allocs_op memory arm", c.Name)
+			}
+			if c.PeakRSSBytes <= 0 {
+				return fmt.Errorf("bench report: case %q: missing peak_rss_bytes memory arm", c.Name)
+			}
+		}
 		for _, a := range c.Sharded {
 			if a.Shards <= 0 {
 				return fmt.Errorf("bench report: case %q: sharded arm without shard count", c.Name)
@@ -964,6 +995,12 @@ func decodeBenchReport(data []byte) (*BenchReport, error) {
 // newer report's iterative arm (when present) is summarized against its
 // seed flow solves. Cases present in only one report are listed so a
 // renamed or dropped case cannot silently vanish from the trajectory.
+//
+// Memory is a gate, not just a column: when both trajectory points
+// carry a memory arm for a case, an allocation regression beyond 1.5×
+// fails the comparison. Allocation is deterministic for a fixed
+// workload, so 1.5× is real algorithmic growth, not runner noise; peak
+// RSS stays informational (GC timing makes it jittery).
 func CompareBenchReports(w io.Writer, oldData, newData []byte) error {
 	oldRep, err := decodeBenchReport(oldData)
 	if err != nil {
@@ -977,8 +1014,9 @@ func CompareBenchReports(w io.Writer, oldData, newData []byte) error {
 	for _, c := range oldRep.Cases {
 		oldByName[c.Name] = c
 	}
-	t := newTable(w, "case", "serial old", "serial new", "Δserial", "solves old", "solves new", "iter solves", "iter time")
+	t := newTable(w, "case", "serial old", "serial new", "Δserial", "solves old", "solves new", "iter solves", "iter time", "alloc old", "alloc new", "peak rss")
 	seen := make(map[string]bool)
+	var memRegressions []string
 	for _, nc := range newRep.Cases {
 		oc, ok := oldByName[nc.Name]
 		if !ok {
@@ -997,8 +1035,25 @@ func CompareBenchReports(w io.Writer, oldData, newData []byte) error {
 			iterSolves = fmt.Sprintf("%d", nc.IterativeFlowSolves)
 			iterTime = secs(time.Duration(nc.IterativeNsOp))
 		}
+		allocOld, allocNew, peak := "-", "-", "-"
+		if oc.AllocBytesOp > 0 {
+			allocOld = mib(oc.AllocBytesOp)
+		}
+		if nc.AllocBytesOp > 0 {
+			allocNew = mib(nc.AllocBytesOp)
+		}
+		if nc.PeakRSSBytes > 0 {
+			peak = mib(nc.PeakRSSBytes)
+		}
+		if oc.AllocBytesOp > 0 && nc.AllocBytesOp > 0 &&
+			float64(nc.AllocBytesOp) > memRegressionFactor*float64(oc.AllocBytesOp) {
+			memRegressions = append(memRegressions, fmt.Sprintf(
+				"case %q: alloc_bytes_op %d → %d (%.2fx, gate %.1fx)",
+				nc.Name, oc.AllocBytesOp, nc.AllocBytesOp,
+				float64(nc.AllocBytesOp)/float64(oc.AllocBytesOp), memRegressionFactor))
+		}
 		t.row(nc.Name, secs(time.Duration(oc.SerialNsOp)), secs(time.Duration(nc.SerialNsOp)), delta,
-			solvesOld, solvesNew, iterSolves, iterTime)
+			solvesOld, solvesNew, iterSolves, iterTime, allocOld, allocNew, peak)
 	}
 	t.flush()
 	for _, nc := range newRep.Cases {
@@ -1015,5 +1070,18 @@ func CompareBenchReports(w io.Writer, oldData, newData []byte) error {
 		fmt.Fprintf(w, "new flow-solve reduction: %.2fx (seed → iterative, %d workers, budget from report cases)\n",
 			newRep.FlowSolveReduction, newRep.Workers)
 	}
+	if len(memRegressions) > 0 {
+		return fmt.Errorf("bench compare: memory regression:\n  %s", strings.Join(memRegressions, "\n  "))
+	}
 	return nil
+}
+
+// memRegressionFactor is the allocation-regression gate of
+// CompareBenchReports: a case whose alloc_bytes_op grows past this
+// factor between trajectory points fails the comparison.
+const memRegressionFactor = 1.5
+
+// mib renders a byte count as MiB for the comparison table.
+func mib(b int64) string {
+	return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
 }

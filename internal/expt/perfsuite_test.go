@@ -118,6 +118,12 @@ func TestValidateBenchReportRejects(t *testing.T) {
 		{"iterative more solves", mutate(func(r *BenchReport) { r.Cases[0].IterativeFlowSolves = 21 }), "flow solves"},
 		{"unknown field", []byte(`{"schema":"dsd-bench/v1","bogus":1}`), "bogus"},
 		{"not json", []byte("perf went great"), "bench report"},
+		{"negative alloc", mutate(func(r *BenchReport) { r.Cases[0].AllocBytesOp = -1 }), "negative memory"},
+		{"coreexact without memory arm", mutate(func(r *BenchReport) { r.Cases[0].Name = "coreexact-x" }), "memory arm"},
+		{"coreexact without peak rss", mutate(func(r *BenchReport) {
+			r.Cases[0].Name = "coreexact-x"
+			r.Cases[0].AllocBytesOp, r.Cases[0].AllocsOp = 1<<20, 1000
+		}), "peak_rss_bytes"},
 	}
 	for _, c := range cases {
 		err := ValidateBenchReport(c.data)
@@ -171,5 +177,36 @@ func TestCompareBenchReports(t *testing.T) {
 	}
 	if err := CompareBenchReports(&buf, []byte(`{"schema":"nope"}`), marshal(newRep)); err == nil {
 		t.Fatal("bad old report accepted")
+	}
+}
+
+// TestCompareBenchReportsMemoryGate: when both trajectory points carry
+// a memory arm, allocation growth past the factor fails the comparison;
+// growth inside the factor, or a point without memory data, passes.
+func TestCompareBenchReportsMemoryGate(t *testing.T) {
+	report := func(alloc int64) []byte {
+		r := BenchReport{
+			Schema: BenchSchema, Suite: "perfsuite", Workers: 4,
+			Cases: []BenchCase{{Name: "coreexact-x", Algo: "core-exact", SerialNsOp: 100,
+				AllocBytesOp: alloc, AllocsOp: 10, PeakRSSBytes: 1 << 20}},
+		}
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	var buf bytes.Buffer
+	if err := CompareBenchReports(&buf, report(1000), report(1400)); err != nil {
+		t.Fatalf("1.4x allocation growth failed the gate: %v", err)
+	}
+	err := CompareBenchReports(&buf, report(1000), report(1600))
+	if err == nil || !strings.Contains(err.Error(), "memory regression") {
+		t.Fatalf("1.6x allocation growth err = %v, want a memory regression", err)
+	}
+	// An old point without memory data (the BENCH_9 → BENCH_10 situation)
+	// cannot gate.
+	if err := CompareBenchReports(&buf, report(0), report(1600)); err != nil {
+		t.Fatalf("old point without memory data failed the gate: %v", err)
 	}
 }

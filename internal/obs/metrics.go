@@ -19,6 +19,21 @@ var DefLatencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
+// DefAllocBuckets is the default allocation-size histogram layout, in
+// bytes: powers of four from 4KiB (a cache hit allocates almost
+// nothing) to 4GiB (a cold billion-edge decomposition).
+var DefAllocBuckets = []float64{
+	4096, 16384, 65536, 262144, 1048576, 4194304,
+	16777216, 67108864, 268435456, 1073741824, 4294967296,
+}
+
+// DefPauseBuckets is the default GC pause histogram layout, in seconds:
+// 10µs through 100ms.
+var DefPauseBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+}
+
 // Registry is a process-local metrics registry exporting the Prometheus
 // text exposition format. Metric lookups (Counter/Gauge/Histogram) are
 // idempotent — the same (name, labels) returns the same metric — and
@@ -27,6 +42,13 @@ var DefLatencyBuckets = []float64{
 type Registry struct {
 	mu  sync.Mutex
 	fam map[string]*family
+
+	// cmu guards the scrape-time collectors, separately from mu so a
+	// collector body can create and set metrics (which takes mu) while
+	// WritePrometheus runs it.
+	cmu        sync.Mutex
+	collectors []func()
+	runtimeOn  bool
 }
 
 // family is one metric name: its metadata plus a series per label set.
@@ -95,6 +117,49 @@ func (r *Registry) metric(name, help, kind string, buckets []float64, kv []strin
 		f.series[key] = m
 	}
 	return m
+}
+
+// Declare registers a family's metadata without creating any series, so
+// a cold scrape already exposes its HELP/TYPE lines before the first
+// observation — dashboards and alerts can reference the family from
+// first boot (the pre-registration convention the resilience counters
+// follow). For histograms, buckets fix the family's layout. Declaring
+// an existing family is a no-op (a kind mismatch still panics).
+func (r *Registry) Declare(name, help, kind string, buckets ...float64) {
+	switch kind {
+	case "counter", "gauge", "histogram":
+	default:
+		panic(fmt.Sprintf("obs: declare %q with unknown kind %q", name, kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fam[name]
+	if !ok {
+		mustValidName(name)
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]any)}
+		if kind == "histogram" {
+			f.buckets = append([]float64(nil), buckets...)
+		}
+		r.fam[name] = f
+		return
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+}
+
+// OnScrape registers a collector run at the top of every
+// WritePrometheus call, before the registry lock is taken — collectors
+// are free to create and update metrics. Scrape-time collection is how
+// point-in-time telemetry (runtime heap, goroutines, registry gauges)
+// stays current without a background poller.
+func (r *Registry) OnScrape(collect func()) {
+	if collect == nil {
+		return
+	}
+	r.cmu.Lock()
+	r.collectors = append(r.collectors, collect)
+	r.cmu.Unlock()
 }
 
 // mustValidName enforces the Prometheus metric/label name charset.
@@ -265,6 +330,13 @@ func (h *Histogram) BucketCounts() []int64 {
 // format (version 0.0.4): families sorted by name, series by label
 // string, histograms expanded to cumulative _bucket/_sum/_count lines.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.cmu.Lock()
+	collectors := make([]func(), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.cmu.Unlock()
+	for _, collect := range collectors {
+		collect()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.fam))
@@ -274,9 +346,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		f := r.fam[name]
-		if len(f.series) == 0 {
-			continue
-		}
+		// Declared-but-unobserved families still emit HELP/TYPE so a
+		// cold scrape never misses a family a dashboard references.
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err

@@ -1,0 +1,117 @@
+package obs
+
+import "sync"
+
+// Default query-log sizing: a 512-event ring costs a few hundred KiB at
+// rest, and keeping one routine success in 8 preserves a baseline of
+// healthy traffic to compare anomalies against.
+const (
+	DefQueryLogSize   = 512
+	DefQueryLogSample = 8
+)
+
+// QueryLog is a bounded in-memory ring of wide query events with tail
+// sampling: anomalous events (QueryEvent.Retain — slow, degraded, shed,
+// errored) are always kept; routine successes are kept one-in-N. When
+// the ring is full the oldest retained event is overwritten. All
+// methods are nil-safe no-ops, so a disabled log costs nothing at call
+// sites.
+type QueryLog struct {
+	mu     sync.Mutex
+	buf    []*QueryEvent
+	next   int // ring write cursor
+	filled int // events currently in buf
+	every  int // keep 1-in-every routine successes (1 = all)
+	okSeen uint64
+
+	seen     uint64 // events offered
+	retained uint64 // events written to the ring
+	sampled  uint64 // routine successes dropped by sampling
+}
+
+// NewQueryLog returns a log retaining at most capacity events, keeping
+// one in sampleEvery routine successes. capacity <= 0 and
+// sampleEvery <= 0 select the defaults; sampleEvery == 1 keeps every
+// event.
+func NewQueryLog(capacity, sampleEvery int) *QueryLog {
+	if capacity <= 0 {
+		capacity = DefQueryLogSize
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = DefQueryLogSample
+	}
+	return &QueryLog{buf: make([]*QueryEvent, capacity), every: sampleEvery}
+}
+
+// Add offers an event to the log. The event must not be mutated after
+// Add — the ring stores the pointer.
+func (l *QueryLog) Add(ev *QueryEvent) {
+	if l == nil || ev == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seen++
+	if !ev.Retain() {
+		l.okSeen++
+		if l.every > 1 && l.okSeen%uint64(l.every) != 1 {
+			l.sampled++
+			return
+		}
+	}
+	l.retained++
+	l.buf[l.next] = ev
+	l.next = (l.next + 1) % len(l.buf)
+	if l.filled < len(l.buf) {
+		l.filled++
+	}
+}
+
+// Snapshot returns up to limit retained events, newest first (limit <= 0
+// means all). The returned slice is fresh; the events are shared and
+// must be treated as immutable.
+func (l *QueryLog) Snapshot(limit int) []*QueryEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.filled
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]*QueryEvent, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}
+
+// Counts returns how many events were offered, how many were written to
+// the ring, and how many routine successes sampling dropped. Retained
+// counts writes, not residency — ring overwrites don't decrement it.
+func (l *QueryLog) Counts() (seen, retained, sampled uint64) {
+	if l == nil {
+		return 0, 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seen, l.retained, l.sampled
+}
+
+// Cap returns the ring capacity (0 on a nil log).
+func (l *QueryLog) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.buf)
+}
+
+// SampleEvery returns the routine-success sampling rate (0 on a nil
+// log).
+func (l *QueryLog) SampleEvery() int {
+	if l == nil {
+		return 0
+	}
+	return l.every
+}

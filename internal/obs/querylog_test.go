@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestQueryLogNilSafe exercises every method on a nil log: the disabled
+// path must cost nothing and crash nowhere.
+func TestQueryLogNilSafe(t *testing.T) {
+	var l *QueryLog
+	l.Add(&QueryEvent{Outcome: "ok"})
+	if got := l.Snapshot(0); got != nil {
+		t.Fatalf("nil log Snapshot = %v, want nil", got)
+	}
+	if s, r, d := l.Counts(); s != 0 || r != 0 || d != 0 {
+		t.Fatalf("nil log Counts = %d,%d,%d, want zeros", s, r, d)
+	}
+	if l.Cap() != 0 || l.SampleEvery() != 0 {
+		t.Fatal("nil log Cap/SampleEvery should be zero")
+	}
+}
+
+// TestQueryLogRing checks the ring is bounded and Snapshot returns
+// newest-first with a working limit.
+func TestQueryLogRing(t *testing.T) {
+	l := NewQueryLog(4, 1)
+	for i := 0; i < 10; i++ {
+		l.Add(&QueryEvent{Outcome: "error", TimeUnixNs: int64(i)})
+	}
+	got := l.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := int64(9 - i); ev.TimeUnixNs != want {
+			t.Fatalf("snapshot[%d].TimeUnixNs = %d, want %d (newest first)", i, ev.TimeUnixNs, want)
+		}
+	}
+	if got := l.Snapshot(2); len(got) != 2 || got[0].TimeUnixNs != 9 {
+		t.Fatalf("Snapshot(2) = %+v, want newest 2", got)
+	}
+	seen, retained, sampled := l.Counts()
+	if seen != 10 || retained != 10 || sampled != 0 {
+		t.Fatalf("Counts = %d,%d,%d, want 10,10,0", seen, retained, sampled)
+	}
+}
+
+// TestQueryLogTailSampling is the sampling policy gate: anomalous
+// events (slow, degraded, shed, error, timeout) are always retained;
+// routine successes are kept one-in-N.
+func TestQueryLogTailSampling(t *testing.T) {
+	l := NewQueryLog(64, 4)
+	for i := 0; i < 8; i++ {
+		l.Add(&QueryEvent{Outcome: "ok"})
+	}
+	anomalies := []*QueryEvent{
+		{Outcome: "ok", Slow: true},
+		{Outcome: "ok", Degraded: true},
+		{Outcome: "shed", Shed: true},
+		{Outcome: "error"},
+		{Outcome: "timeout"},
+		{Outcome: "cache_hit", Degraded: true},
+	}
+	for _, ev := range anomalies {
+		l.Add(ev)
+	}
+	seen, retained, sampled := l.Counts()
+	if seen != 14 {
+		t.Fatalf("seen = %d, want 14", seen)
+	}
+	// 8 OKs at 1-in-4 → 2 kept, 6 sampled away; all 6 anomalies kept.
+	if retained != 8 || sampled != 6 {
+		t.Fatalf("retained,sampled = %d,%d, want 8,6", retained, sampled)
+	}
+	var anom int
+	for _, ev := range l.Snapshot(0) {
+		if ev.Retain() {
+			anom++
+		}
+	}
+	if anom != len(anomalies) {
+		t.Fatalf("ring holds %d anomalous events, want %d", anom, len(anomalies))
+	}
+}
+
+// TestQueryLogSampleEveryOne checks sampleEvery == 1 keeps every event.
+func TestQueryLogSampleEveryOne(t *testing.T) {
+	l := NewQueryLog(16, 1)
+	for i := 0; i < 5; i++ {
+		l.Add(&QueryEvent{Outcome: "ok"})
+	}
+	if _, retained, sampled := l.Counts(); retained != 5 || sampled != 0 {
+		t.Fatalf("retained,sampled = %d,%d, want 5,0", retained, sampled)
+	}
+}
+
+// TestQueryLogDefaults checks the zero-value constructor arguments
+// select the documented defaults.
+func TestQueryLogDefaults(t *testing.T) {
+	l := NewQueryLog(0, 0)
+	if l.Cap() != DefQueryLogSize {
+		t.Fatalf("Cap = %d, want %d", l.Cap(), DefQueryLogSize)
+	}
+	if l.SampleEvery() != DefQueryLogSample {
+		t.Fatalf("SampleEvery = %d, want %d", l.SampleEvery(), DefQueryLogSample)
+	}
+}
+
+// TestQueryLogConcurrent hammers the ring from many goroutines under
+// the race detector: adds racing snapshots racing counts.
+func TestQueryLogConcurrent(t *testing.T) {
+	l := NewQueryLog(32, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				out := "ok"
+				if i%3 == 0 {
+					out = "error"
+				}
+				l.Add(&QueryEvent{Outcome: out, TimeUnixNs: int64(w*1000 + i)})
+				if i%17 == 0 {
+					l.Snapshot(8)
+					l.Counts()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen, retained, sampled := l.Counts()
+	if seen != 1600 {
+		t.Fatalf("seen = %d, want 1600", seen)
+	}
+	if retained+sampled != seen {
+		t.Fatalf("retained %d + sampled %d != seen %d", retained, sampled, seen)
+	}
+	if got := l.Snapshot(0); len(got) != 32 {
+		t.Fatalf("ring holds %d, want 32", len(got))
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+)
+
+// Runtime metric families exported by RegisterRuntimeCollector.
+const (
+	MetricHeapLiveBytes = "go_heap_live_bytes"
+	MetricHeapGoalBytes = "go_heap_goal_bytes"
+	MetricAllocBytes    = "go_alloc_bytes_total"
+	MetricAllocObjects  = "go_allocs_total"
+	MetricGoroutines    = "go_goroutines"
+	MetricGomaxprocs    = "go_gomaxprocs"
+	MetricGCCycles      = "go_gc_cycles_total"
+	MetricGCPause       = "go_gc_pause_seconds"
+)
+
+// runtimeCollector samples Go runtime telemetry into a Registry at
+// scrape time. Gauges and cumulative counters come from runtime/metrics
+// (no stop-the-world); GC pause durations come from MemStats.PauseNs,
+// diffed by NumGC between scrapes so each pause is observed exactly
+// once (pauses older than the runtime's 256-entry ring at scrape time
+// are dropped, which only happens under >256 GCs between scrapes).
+type runtimeCollector struct {
+	r *Registry
+
+	mu        sync.Mutex
+	samples   []metrics.Sample
+	lastBytes uint64
+	lastObjs  uint64
+	lastGC    uint32
+	first     bool
+}
+
+// RegisterRuntimeCollector installs a scrape-time collector exporting
+// Go runtime telemetry into r: live heap and heap goal gauges,
+// cumulative allocation counters, goroutine count, GOMAXPROCS, GC cycle
+// count, and a GC pause histogram. Idempotent per registry — a second
+// call is a no-op, so an engine and a server sharing a registry don't
+// double-observe pauses.
+func RegisterRuntimeCollector(r *Registry) {
+	r.cmu.Lock()
+	if r.runtimeOn {
+		r.cmu.Unlock()
+		return
+	}
+	r.runtimeOn = true
+	r.cmu.Unlock()
+
+	c := &runtimeCollector{
+		r: r,
+		samples: []metrics.Sample{
+			{Name: "/memory/classes/heap/objects:bytes"},
+			{Name: "/gc/heap/goal:bytes"},
+			{Name: "/gc/heap/allocs:bytes"},
+			{Name: "/gc/heap/allocs:objects"},
+			{Name: "/sched/goroutines:goroutines"},
+			{Name: "/sched/gomaxprocs:threads"},
+			{Name: "/gc/cycles/total:gc-cycles"},
+		},
+		first: true,
+	}
+	r.OnScrape(c.collect)
+	// Collect once at registration so a cold scrape (and WritePrometheus
+	// callers that bypass the endpoint) already see every family.
+	c.collect()
+}
+
+func (c *runtimeCollector) collect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	u := func(i int) uint64 {
+		if c.samples[i].Value.Kind() == metrics.KindUint64 {
+			return c.samples[i].Value.Uint64()
+		}
+		return 0
+	}
+	c.r.Gauge(MetricHeapLiveBytes, "Bytes of live heap objects.").Set(float64(u(0)))
+	c.r.Gauge(MetricHeapGoalBytes, "Heap size goal of the current GC cycle.").Set(float64(u(1)))
+
+	// Cumulative runtime counters export as counter deltas so the
+	// exposition stays monotone even though the collector starts late.
+	bytes, objs := u(2), u(3)
+	allocB := c.r.Counter(MetricAllocBytes, "Cumulative bytes allocated on the heap.")
+	allocN := c.r.Counter(MetricAllocObjects, "Cumulative heap objects allocated.")
+	if !c.first {
+		allocB.Add(int64(bytes - c.lastBytes))
+		allocN.Add(int64(objs - c.lastObjs))
+	} else {
+		allocB.Add(int64(bytes))
+		allocN.Add(int64(objs))
+	}
+	c.lastBytes, c.lastObjs = bytes, objs
+
+	c.r.Gauge(MetricGoroutines, "Number of live goroutines.").Set(float64(u(4)))
+	c.r.Gauge(MetricGomaxprocs, "Value of GOMAXPROCS.").Set(float64(u(5)))
+	cycles := c.r.Counter(MetricGCCycles, "Completed GC cycles.")
+	if d := int64(u(6)) - cycles.Value(); d > 0 {
+		cycles.Add(d)
+	}
+
+	// GC pauses: MemStats.PauseNs is a 256-entry ring indexed by NumGC;
+	// replay the pauses since the last scrape into the histogram.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h := c.r.Histogram(MetricGCPause, "GC stop-the-world pause durations.", DefPauseBuckets)
+	if !c.first && ms.NumGC > c.lastGC {
+		n := ms.NumGC - c.lastGC
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		for i := ms.NumGC - n; i < ms.NumGC; i++ {
+			h.Observe(float64(ms.PauseNs[i%uint32(len(ms.PauseNs))]) / 1e9)
+		}
+	}
+	c.lastGC = ms.NumGC
+	c.first = false
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -77,6 +78,7 @@ func (t *Tracer) Start(name string, parent *Span) *Span {
 	if parent != nil {
 		pid = parent.id
 	}
+	mem, memOK := readHeapCount()
 	t.mu.Lock()
 	t.seq++
 	s := &Span{
@@ -85,6 +87,8 @@ func (t *Tracer) Start(name string, parent *Span) *Span {
 		parent: pid,
 		name:   name,
 		start:  time.Now(),
+		mem:    mem,
+		memOK:  memOK,
 	}
 	t.live = append(t.live, s)
 	t.mu.Unlock()
@@ -136,6 +140,15 @@ type Span struct {
 	dur    time.Duration
 	ended  bool
 	attrs  map[string]string
+
+	// mem is the heap allocation counter sample taken at Start; End
+	// diffs a second sample into allocBytes/allocs. memOK is false when
+	// the runtime does not expose the counters, in which case the span
+	// reports zero allocation rather than garbage.
+	mem        heapCount
+	memOK      bool
+	allocBytes int64
+	allocs     int64
 }
 
 // ID returns the span id ("" on a nil span).
@@ -175,17 +188,53 @@ func (s *Span) SetFloat(k string, v float64) {
 	s.SetAttr(k, strconv.FormatFloat(v, 'g', -1, 64))
 }
 
-// End stamps the span's duration; a second End is a no-op.
+// End stamps the span's duration and allocation delta; a second End is
+// a no-op.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	var now heapCount
+	nowOK := false
+	if s.memOK {
+		now, nowOK = readHeapCount()
+	}
 	s.t.mu.Lock()
 	if !s.ended {
 		s.dur = time.Since(s.start)
+		if nowOK {
+			s.allocBytes, s.allocs = now.sub(s.mem)
+		}
 		s.ended = true
 	}
 	s.t.mu.Unlock()
+}
+
+// AllocDelta returns the heap allocation attributed to the span: the
+// counter delta between Start and End (live spans report the delta up
+// to now). Zero when the runtime counters are unavailable. Like the
+// duration, the delta is a wall-window measure: allocation by other
+// goroutines inside the span's window is included.
+func (s *Span) AllocDelta() (bytes, objects int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.allocDeltaLocked()
+}
+
+// allocDeltaLocked returns the span's allocation delta; the caller must
+// hold s.t.mu.
+func (s *Span) allocDeltaLocked() (bytes, objects int64) {
+	if s.ended || !s.memOK {
+		return s.allocBytes, s.allocs
+	}
+	now, ok := readHeapCount()
+	if !ok {
+		return 0, 0
+	}
+	return now.sub(s.mem)
 }
 
 // data snapshots the span; the caller must hold s.t.mu.
@@ -194,6 +243,7 @@ func (s *Span) data() TraceSpan {
 	if !s.ended {
 		d = time.Since(s.start)
 	}
+	ab, ao := s.allocDeltaLocked()
 	var attrs map[string]string
 	if len(s.attrs) > 0 {
 		attrs = make(map[string]string, len(s.attrs))
@@ -207,6 +257,8 @@ func (s *Span) data() TraceSpan {
 		Name:        s.name,
 		StartUnixNs: s.start.UnixNano(),
 		DurNs:       int64(d),
+		AllocBytes:  ab,
+		Allocs:      ao,
 		Attrs:       attrs,
 	}
 }
@@ -225,10 +277,16 @@ type TraceSpan struct {
 	Name   string `json:"name"`
 	// Shard is the worker base URL a remotely-executed span ran on
 	// (empty for spans recorded in this process).
-	Shard       string            `json:"shard,omitempty"`
-	StartUnixNs int64             `json:"start_unix_ns"`
-	DurNs       int64             `json:"dur_ns"`
-	Attrs       map[string]string `json:"attrs,omitempty"`
+	Shard       string `json:"shard,omitempty"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	DurNs       int64  `json:"dur_ns"`
+	// AllocBytes/Allocs are the heap allocation counter deltas over the
+	// span's window (zero when the runtime counters are unavailable).
+	// Worker-side spans carry the worker process's deltas across the
+	// wire, so adopted spans attribute remote allocation too.
+	AllocBytes int64             `json:"alloc_bytes,omitempty"`
+	Allocs     int64             `json:"allocs,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
 }
 
 // Dur returns the span's duration.
@@ -274,5 +332,82 @@ func (tr *Trace) PhaseTotals() map[string]time.Duration {
 	for _, s := range tr.Spans {
 		out[s.Name] += s.Dur()
 	}
+	return out
+}
+
+// PhaseCost is the aggregate resource cost of one span name across a
+// trace: how many times the phase ran, its summed wall time, and its
+// summed heap allocation. The same nesting caveat as PhaseTotals
+// applies: a component's cost includes its presolve and flow children,
+// which also appear under their own names.
+type PhaseCost struct {
+	Name       string `json:"name"`
+	Count      int    `json:"count"`
+	DurNs      int64  `json:"dur_ns"`
+	AllocBytes int64  `json:"alloc_bytes,omitempty"`
+	Allocs     int64  `json:"allocs,omitempty"`
+}
+
+// PhaseCosts aggregates the trace's spans by name, sorted by name — the
+// per-phase cost table behind the wide query event and the slow-query
+// log.
+func (tr *Trace) PhaseCosts() []PhaseCost {
+	if tr == nil {
+		return nil
+	}
+	idx := make(map[string]int)
+	var out []PhaseCost
+	for _, s := range tr.Spans {
+		i, ok := idx[s.Name]
+		if !ok {
+			i = len(out)
+			idx[s.Name] = i
+			out = append(out, PhaseCost{Name: s.Name})
+		}
+		out[i].Count++
+		out[i].DurNs += s.DurNs
+		out[i].AllocBytes += s.AllocBytes
+		out[i].Allocs += s.Allocs
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// ShardCost is the aggregate cost of the spans a trace adopted from one
+// shard worker: span count, summed wall time, and summed worker-side
+// heap allocation.
+type ShardCost struct {
+	Addr       string `json:"addr"`
+	Spans      int    `json:"spans"`
+	DurNs      int64  `json:"dur_ns"`
+	AllocBytes int64  `json:"alloc_bytes,omitempty"`
+	Allocs     int64  `json:"allocs,omitempty"`
+}
+
+// ShardCosts aggregates adopted remote spans by worker address, sorted
+// by address. Local spans (Shard == "") are excluded; an empty slice
+// means the query never left the process.
+func (tr *Trace) ShardCosts() []ShardCost {
+	if tr == nil {
+		return nil
+	}
+	idx := make(map[string]int)
+	var out []ShardCost
+	for _, s := range tr.Spans {
+		if s.Shard == "" {
+			continue
+		}
+		i, ok := idx[s.Shard]
+		if !ok {
+			i = len(out)
+			idx[s.Shard] = i
+			out = append(out, ShardCost{Addr: s.Shard})
+		}
+		out[i].Spans++
+		out[i].DurNs += s.DurNs
+		out[i].AllocBytes += s.AllocBytes
+		out[i].Allocs += s.Allocs
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Addr < out[b].Addr })
 	return out
 }

@@ -90,6 +90,15 @@ type Config struct {
 	// QueryStats.Trace; the off path costs nothing on the hot loop, so
 	// this exists for callers that do not want traces in responses.
 	NoTrace bool
+	// QueryLog bounds the wide-event query log ring (0 =
+	// obs.DefQueryLogSize, negative = disabled). Every admission outcome
+	// — shed included — emits one obs.QueryEvent into it; GET
+	// /v1/querylog serves the retained tail.
+	QueryLog int
+	// QueryLogSample keeps one in N routine successes in the query log
+	// (0 = obs.DefQueryLogSample, 1 = keep all). Slow, degraded, shed,
+	// and errored queries are always retained regardless.
+	QueryLogSample int
 }
 
 // Engine dispatches dsd.Query values against registered graphs through a
@@ -113,6 +122,7 @@ type Engine struct {
 	log       *slog.Logger
 	slowQuery time.Duration
 	noTrace   bool
+	qlog      *obs.QueryLog // nil = query log disabled
 
 	queries      atomic.Int64
 	computes     atomic.Int64
@@ -243,6 +253,19 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		"Queries answered degraded (certified bounds, not the exact optimum).")
 	metrics.Counter("dsd_stream_events_total",
 		"Certified answers delivered on anytime streams.")
+	// Same convention for the labeled cost histogram: declare the family
+	// so a cold scrape sees its HELP/TYPE before the first observation
+	// mints a (graph, algo) series.
+	metrics.Declare("dsd_query_alloc_bytes",
+		"Heap bytes allocated per computed query, by graph and algorithm.",
+		"histogram", obs.DefAllocBuckets...)
+	// Go runtime telemetry (heap, GC pauses, goroutines, GOMAXPROCS)
+	// refreshes on every scrape of the same registry.
+	obs.RegisterRuntimeCollector(metrics)
+	var qlog *obs.QueryLog
+	if cfg.QueryLog >= 0 {
+		qlog = obs.NewQueryLog(cfg.QueryLog, cfg.QueryLogSample)
+	}
 	return &Engine{
 		reg:           reg,
 		cache:         NewCache(),
@@ -257,8 +280,13 @@ func NewEngine(reg *Registry, cfg Config) *Engine {
 		log:           logger,
 		slowQuery:     cfg.SlowQuery,
 		noTrace:       cfg.NoTrace,
+		qlog:          qlog,
 	}
 }
+
+// QueryLog returns the engine's wide-event query log (nil when
+// disabled).
+func (e *Engine) QueryLog() *obs.QueryLog { return e.qlog }
 
 // Metrics returns the engine's metrics registry — the one /metrics
 // serves.
@@ -292,7 +320,7 @@ func (e *Engine) Solve(ctx context.Context, graphName string, q dsd.Query, timeo
 			e.errors.Add(1)
 		}
 	}()
-	return e.solve(ctx, graphName, q, timeout, nil)
+	return e.solve(ctx, graphName, q, timeout, nil, nil)
 }
 
 // Query answers the v1 (graph, pattern, algo) triple by decoding it into
@@ -314,7 +342,7 @@ func (e *Engine) Query(ctx context.Context, graphName, patternName string, algo 
 	if err != nil {
 		return nil, false, err
 	}
-	return e.solve(ctx, graphName, dsd.Query{Pattern: p, Algo: a}, timeout, nil)
+	return e.solve(ctx, graphName, dsd.Query{Pattern: p, Algo: a}, timeout, nil, nil)
 }
 
 // Resolve applies the engine's default knobs to the fields q leaves at
@@ -363,14 +391,23 @@ func (e *Engine) ResolveFor(graphName string, q dsd.Query) (dsd.Query, error) {
 // one synthesized final event is the caller's concern), and only the
 // terminal result enters the cache, so intermediate answers can never be
 // served to anyone as a cached exact value.
-func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeout time.Duration, sink func(dsd.Answer)) (res *core.Result, cached bool, err error) {
+func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeout time.Duration, sink func(dsd.Answer), emit func(*obs.QueryEvent)) (res *core.Result, cached bool, err error) {
 	// Per-request accounting: one counter increment per (graph, algo,
 	// outcome) and one end-to-end latency observation per (graph, algo) —
 	// cache hits included, since the caller's latency is what the
 	// histogram answers for. Unresolvable requests land under "unknown"
 	// labels so hostile graph names cannot mint unbounded series.
+	//
+	// The same defer emits the wide query event — one per request, every
+	// admission outcome included: a shed that never reached a worker
+	// still produces its event, which is how /v1/querylog sees 503s the
+	// solver never did. A non-nil emit intercepts the event instead of
+	// recording it (Stream appends its event count before recording).
 	qstart := time.Now()
 	glabel, alabel := "unknown", "unknown"
+	var queryKey string
+	var queryVersion uint64
+	var queueWaitNs atomic.Int64 // set by the single-flight leader's fn
 	defer func() {
 		outcome := "ok"
 		switch {
@@ -389,6 +426,35 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 		e.metrics.Histogram("dsd_query_seconds",
 			"End-to-end query latency as the caller saw it, cache hits included.",
 			obs.DefLatencyBuckets, "graph", glabel, "algo", alabel).ObserveSeconds(time.Since(qstart))
+		ev := &obs.QueryEvent{
+			TimeUnixNs: time.Now().UnixNano(),
+			Graph:      glabel,
+			Algo:       alabel,
+			QueryKey:   queryKey,
+			Version:    queryVersion,
+			Outcome:    outcome,
+			Cached:     cached && err == nil,
+			Shed:       err != nil && errors.Is(err, ErrOverloaded),
+			DurNs:      int64(time.Since(qstart)),
+		}
+		if err != nil {
+			ev.Error = err.Error()
+		}
+		if !ev.Cached {
+			ev.QueueWaitNs = queueWaitNs.Load()
+		}
+		if res != nil && err == nil {
+			fillEventFromResult(ev, res)
+			// Slow marks the computation, so never a cache hit — the hit
+			// didn't recompute; the original computation already emitted
+			// its own slow event.
+			ev.Slow = !cached && e.slowQuery > 0 && res.Stats.Total >= e.slowQuery
+		}
+		if emit != nil {
+			emit(ev)
+		} else {
+			e.recordEvent(ev)
+		}
 	}()
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
@@ -409,6 +475,8 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 		nq.Version = entry.Solver.Version()
 	}
 	alabel = string(nq.Algo)
+	queryKey = nq.Key()
+	queryVersion = uint64(nq.Version)
 
 	waitCtx := ctx
 	if timeout > 0 {
@@ -459,6 +527,7 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 			return nil, fmt.Errorf("service: query %v timed out waiting for a worker: %w", key, cctx.Err())
 		}
 		queueWait := time.Since(qwStart)
+		queueWaitNs.Store(int64(queueWait))
 		e.metrics.Histogram("dsd_queue_wait_seconds",
 			"Time a computation spent waiting for a worker-pool slot.",
 			obs.DefLatencyBuckets).ObserveSeconds(queueWait)
@@ -525,6 +594,17 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 			root.End()
 			if err == nil && r != nil {
 				if tr != nil {
+					// The run's resource cost is the root span's allocation
+					// delta — process-wide counters, so concurrent queries
+					// inflate each other's deltas (the per-phase trace says
+					// where the bytes went).
+					r.Stats.AllocBytes, r.Stats.Allocs = root.AllocDelta()
+					if r.Stats.AllocBytes > 0 {
+						e.metrics.Histogram("dsd_query_alloc_bytes",
+							"Heap bytes allocated per computed query, by graph and algorithm.",
+							obs.DefAllocBuckets, "graph", graphName, "algo", string(nq.Algo)).
+							Observe(float64(r.Stats.AllocBytes))
+					}
 					// The engine's snapshot supersedes the solver's own:
 					// same spans plus the root query span.
 					r.Stats.Trace = tr.Snapshot()
@@ -533,7 +613,7 @@ func (e *Engine) solve(ctx context.Context, graphName string, q dsd.Query, timeo
 					e.metrics.Counter("dsd_degraded_total",
 						"Queries answered degraded (certified bounds, not the exact optimum).").Inc()
 				}
-				e.observeComputed(graphName, nq, r)
+				e.observeComputed(graphName, nq, r, queueWait)
 			}
 			done <- outcome{r, err}
 		}()
@@ -619,40 +699,6 @@ func (e *Engine) GraphDetail(graphName string) (wire.GraphDetail, error) {
 	}, nil
 }
 
-// observeComputed is the slow-query log: a computed result whose total
-// time reaches the threshold is logged at Warn with the full phase
-// breakdown, so one record answers "where did the time go" without
-// pulling the trace.
-func (e *Engine) observeComputed(graphName string, nq dsd.Query, r *core.Result) {
-	if e.slowQuery <= 0 || r.Stats.Total < e.slowQuery {
-		return
-	}
-	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	attrs := []any{
-		slog.String("graph", graphName),
-		slog.String("algo", string(nq.Algo)),
-		slog.Float64("total_ms", ms(r.Stats.Total)),
-		slog.Float64("decompose_ms", ms(r.Stats.Decompose)),
-		slog.Float64("presolve_ms", ms(r.Stats.PreSolveTime)),
-		slog.Float64("flow_ms", ms(r.Stats.FlowTime)),
-		slog.Int("flow_solves", r.Stats.Iterations),
-		slog.Int("presolve_iters", r.Stats.PreSolveIters),
-		slog.Int("presolve_skips", r.Stats.PreSolveSkips),
-	}
-	if r.Stats.ShardComponents > 0 {
-		attrs = append(attrs,
-			slog.Int("shard_components", r.Stats.ShardComponents),
-			slog.Int("shard_remote", r.Stats.ShardRemote),
-			slog.Int("shard_fallbacks", r.Stats.ShardFallbacks),
-			slog.Int("shard_hedges", r.Stats.ShardHedges),
-		)
-	}
-	if r.Stats.Trace != nil {
-		attrs = append(attrs, slog.String("trace_id", r.Stats.Trace.TraceID))
-	}
-	e.log.Warn("slow query", attrs...)
-}
-
 // Stats returns the engine's operational counters.
 func (e *Engine) Stats() wire.StatsResponse {
 	health := e.coord.Health()
@@ -668,6 +714,7 @@ func (e *Engine) Stats() wire.StatsResponse {
 				Hedges:        h.Hedges,
 				Retries:       h.Retries,
 				LatencyEWMAMs: float64(h.LatencyEWMA) / float64(time.Millisecond),
+				AllocBytes:    h.AllocBytes,
 				Breaker:       h.Breaker,
 			}
 		}

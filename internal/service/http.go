@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 //	DELETE /v1/graphs/{g}       — unregister a graph and evict its cached results
 //	POST   /v1/graphs/{g}/edges — apply an edge-mutation batch, returning the new version
 //	GET    /v1/stats            — operational counters
+//	GET    /v1/querylog         — wide-event query log (tail-sampled ring, newest first)
 //	GET    /metrics             — Prometheus text exposition of the engine registry
 //	GET    /healthz             — liveness probe
 //	POST   /v3/component        — run one CoreExact component search (shard worker)
@@ -62,6 +64,7 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/graphs/{g}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/graphs/{g}/edges", s.handleMutateGraph)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/querylog", s.handleQueryLog)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.worker.Register(mux)
@@ -254,6 +257,33 @@ func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// handleQueryLog is GET /v1/querylog: the retained tail of the
+// wide-event query log, newest first. ?limit=N caps the number of
+// events returned. With the log disabled (dsdd -querylog -1) the
+// response is well-formed with capacity 0 and no events.
+func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v))
+			return
+		}
+		limit = n
+	}
+	l := s.engine.QueryLog()
+	seen, retained, sampled := l.Counts()
+	writeJSON(w, http.StatusOK, wire.QueryLogResponse{
+		Schema:      wire.QueryLogSchema,
+		Capacity:    l.Cap(),
+		SampleEvery: l.SampleEvery(),
+		Seen:        seen,
+		Retained:    retained,
+		Sampled:     sampled,
+		Events:      l.Snapshot(limit),
+	})
 }
 
 // handleMetrics is GET /metrics: the engine's registry in Prometheus

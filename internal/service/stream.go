@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	dsd "repro"
@@ -98,6 +99,7 @@ func (e *Engine) Stream(ctx context.Context, graphName string, q dsd.Query, time
 	e.streams.Add(1)
 	qstart := time.Now()
 	var first sync.Once
+	var delivered atomic.Int64
 	events := e.metrics.Counter("dsd_stream_events_total",
 		"Certified answers delivered on anytime streams.")
 	instrumented := func(a dsd.Answer, fromCache bool) {
@@ -107,6 +109,7 @@ func (e *Engine) Stream(ctx context.Context, graphName string, q dsd.Query, time
 				obs.DefLatencyBuckets).ObserveSeconds(time.Since(qstart))
 		})
 		events.Inc()
+		delivered.Add(1)
 		sink(a, fromCache)
 	}
 	defer func() {
@@ -128,7 +131,20 @@ func (e *Engine) Stream(ctx context.Context, graphName string, q dsd.Query, time
 		}
 	}()
 	relay := newStreamRelay(func(a dsd.Answer) { instrumented(a, false) })
-	res, cached, err = e.solve(ctx, graphName, q, timeout, relay.push)
+	// Intercept the wide event instead of letting solve record it: the
+	// stream's event count is only complete after the relay drains (and
+	// after a cached final is synthesized below), so exactly one terminal
+	// event per stream enters the query log, stage count included.
+	var wideEv *obs.QueryEvent
+	defer func() {
+		if wideEv != nil {
+			wideEv.Stream = true
+			wideEv.StreamEvents = int(delivered.Load())
+			e.recordEvent(wideEv)
+		}
+	}()
+	res, cached, err = e.solve(ctx, graphName, q, timeout, relay.push,
+		func(ev *obs.QueryEvent) { wideEv = ev })
 	relay.stop()
 	if err != nil {
 		return nil, cached, err

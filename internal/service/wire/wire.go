@@ -268,6 +268,12 @@ type QueryStats struct {
 	// across workers, so the sums can exceed TotalMs.
 	FlowMs     float64 `json:"flow_ms,omitempty"`
 	PreSolveMs float64 `json:"pre_solve_ms,omitempty"`
+	// AllocBytes / Allocs are the heap allocation attributed to the run
+	// (the root span's allocation-counter delta; zero when tracing was
+	// off). Process-wide counters: concurrent queries inflate each
+	// other's deltas.
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	Allocs     int64 `json:"allocs,omitempty"`
 	// Trace is the run's phase-level span tree, present only when the
 	// serving engine ran with tracing enabled.
 	Trace *obs.Trace `json:"trace,omitempty"`
@@ -291,6 +297,8 @@ func FromQueryStats(st dsd.QueryStats) *QueryStats {
 		ShardHedges:         st.ShardHedges,
 		FlowMs:              float64(st.FlowTime) / float64(time.Millisecond),
 		PreSolveMs:          float64(st.PreSolveTime) / float64(time.Millisecond),
+		AllocBytes:          st.AllocBytes,
+		Allocs:              st.Allocs,
 		Trace:               st.Trace,
 	}
 }
@@ -462,6 +470,10 @@ type ShardWorkerStats struct {
 	Hedges        int64   `json:"hedges"`
 	Retries       int64   `json:"retries,omitempty"`
 	LatencyEWMAMs float64 `json:"latency_ewma_ms"`
+	// AllocBytes is the worker-reported heap allocation summed over the
+	// components it answered — the coordinator's per-worker cost view
+	// (0 from workers predating the accounting).
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 	// Breaker is the worker's circuit-breaker state: "closed",
 	// "half-open" or "open".
 	Breaker string `json:"breaker,omitempty"`
@@ -519,6 +531,12 @@ type ComponentResponse struct {
 	// pre-solve shares.
 	FlowMs     float64 `json:"flow_ms,omitempty"`
 	PreSolveMs float64 `json:"pre_solve_ms,omitempty"`
+	// AllocBytes / Allocs are the worker-side heap allocation counter
+	// deltas over the search — the per-component cost the coordinator
+	// accumulates into its per-worker accounting. Reported even when the
+	// request carried no TraceID (the worker samples its own counters).
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	Allocs     int64 `json:"allocs,omitempty"`
 	// TraceID echoes the request's trace id; Spans are the worker-side
 	// phase spans of the search, parented under the request's ParentSpan,
 	// for the coordinator to adopt into its trace. Both are empty when the
@@ -557,6 +575,24 @@ type ShardRegisterRequest struct {
 type ShardInfo struct {
 	Addr    string `json:"addr"`
 	Healthy bool   `json:"healthy"`
+}
+
+// QueryLogSchema names the GET /v1/querylog response format.
+const QueryLogSchema = "dsd-querylog/v1"
+
+// QueryLogResponse is the wide-event query log (GET /v1/querylog):
+// the retained events newest-first plus the ring's tail-sampling
+// accounting — Seen events offered, Retained written to the ring, and
+// Sampled routine successes dropped by the 1-in-SampleEvery policy
+// (anomalous events are always retained; see obs.QueryEvent.Retain).
+type QueryLogResponse struct {
+	Schema      string            `json:"schema"`
+	Capacity    int               `json:"capacity"`
+	SampleEvery int               `json:"sample_every"`
+	Seen        uint64            `json:"seen"`
+	Retained    uint64            `json:"retained"`
+	Sampled     uint64            `json:"sampled"`
+	Events      []*obs.QueryEvent `json:"events"`
 }
 
 // ErrorResponse carries an API error.

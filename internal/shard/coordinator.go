@@ -212,6 +212,7 @@ func (c *Coordinator) Health() []WorkerHealth {
 			Hedges:      h.hedges.Load(),
 			Retries:     h.retries.Load(),
 			LatencyEWMA: time.Duration(h.ewmaNs.Load()),
+			AllocBytes:  h.allocBytes.Load(),
 			Breaker:     h.breaker.State().String(),
 		})
 	}
@@ -717,9 +718,13 @@ func (c *Coordinator) runComponent(ctx context.Context, solver *dsd.Solver, grap
 		health.breaker.Report(true)
 		health.remote.Add(1)
 		health.observe(time.Since(rstart))
+		health.allocBytes.Add(resp.AllocBytes)
 		c.metrics.Counter("dsd_shard_remote_total",
 			"Components answered remotely by the shard worker.",
 			"worker", addr).Inc()
+		c.metrics.Counter("dsd_shard_alloc_bytes_total",
+			"Worker-reported heap bytes allocated answering components.",
+			"worker", addr).Add(resp.AllocBytes)
 		c.metrics.Gauge("dsd_shard_latency_ewma_seconds",
 			"EWMA of the worker's component round-trip latency.",
 			"worker", addr).Set(time.Duration(health.ewmaNs.Load()).Seconds())

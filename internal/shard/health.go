@@ -26,6 +26,9 @@ type workerHealth struct {
 	hedges   atomic.Int64
 	retries  atomic.Int64
 	ewmaNs   atomic.Int64 // 0 = no sample yet
+	// allocBytes accumulates the worker-reported heap allocation of the
+	// components it answered — the coordinator's per-worker cost view.
+	allocBytes atomic.Int64
 	// breaker gates dispatch to this worker: threshold consecutive
 	// failures open it, a cooldown later one half-open probe decides.
 	breaker *resilience.Breaker
@@ -66,6 +69,9 @@ type WorkerHealth struct {
 	Hedges      int64
 	Retries     int64
 	LatencyEWMA time.Duration // 0 = no completed round-trip yet
+	// AllocBytes is the worker-reported heap allocation summed over the
+	// components it answered.
+	AllocBytes int64
 	// Breaker is the worker's circuit-breaker state: "closed",
 	// "half-open" or "open".
 	Breaker string

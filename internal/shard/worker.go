@@ -152,6 +152,11 @@ func (w *Worker) HandleComponent(rw http.ResponseWriter, r *http.Request) {
 	if wtr != nil {
 		ctx = obs.WithSpan(ctx, wtr, nil)
 	}
+	// Sample the worker's allocation counters around the search so the
+	// response carries this component's cost even on untraced requests.
+	// The counters are process-wide: concurrent searches on this worker
+	// inflate each other's deltas.
+	memB0, memO0, memOK := obs.HeapAllocCounters()
 	res, err := solver.SolveComponent(ctx, q, req.Component, req.KLocate, floor)
 	if err != nil {
 		if status := statusForShard(err); status == http.StatusServiceUnavailable {
@@ -175,6 +180,16 @@ func (w *Worker) HandleComponent(rw http.ResponseWriter, r *http.Request) {
 		FlowMs:          float64(res.FlowTime) / float64(time.Millisecond),
 		PreSolveMs:      float64(res.PreSolveTime) / float64(time.Millisecond),
 		Upper:           res.Upper,
+	}
+	if memOK {
+		if b1, o1, ok := obs.HeapAllocCounters(); ok {
+			if b1 > memB0 {
+				resp.AllocBytes = int64(b1 - memB0)
+			}
+			if o1 > memO0 {
+				resp.Allocs = int64(o1 - memO0)
+			}
+		}
 	}
 	if snap := wtr.Snapshot(); snap != nil {
 		resp.TraceID = snap.TraceID
